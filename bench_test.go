@@ -1,0 +1,357 @@
+package toposhot
+
+// The repository-level benchmark harness: one benchmark per table and
+// figure of the paper's evaluation (§6 and the appendices). Each benchmark
+// regenerates its artifact and reports the headline quantities as benchmark
+// metrics, so `go test -bench=. -benchmem` reproduces the full evaluation.
+//
+// Whole-testnet censuses are expensive; they run once and are shared across
+// the benchmarks that analyze the same testnet (Fig 6 + Tables 4/5 etc.).
+// By default the censuses run at half the paper's node counts (Ropsten 294,
+// Rinkeby 223, Goerli 512) to keep the whole suite under ~20 minutes; set
+// TOPOSHOT_FULL=1 for the paper-scale 588/446/1025 run, or -short for a
+// quarter-scale smoke pass.
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"toposhot/internal/experiments"
+	"toposhot/internal/graph"
+	"toposhot/internal/txpool"
+)
+
+const benchSeed = 42
+
+// benchVerbose mirrors experiment output to stderr when TOPOSHOT_PRINT=1.
+func benchPrint(b *testing.B, s string) {
+	b.Helper()
+	if os.Getenv("TOPOSHOT_PRINT") != "" {
+		fmt.Fprintln(os.Stderr, s)
+	}
+}
+
+func BenchmarkTable3ClientProfiles(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table3()
+		if len(rows) != 5 {
+			b.Fatalf("expected 5 client profiles, got %d", len(rows))
+		}
+		if i == 0 {
+			benchPrint(b, experiments.FormatTable3(rows))
+			b.ReportMetric(rows[0].R*100, "geth-R-%")
+			b.ReportMetric(float64(rows[0].L), "geth-L")
+		}
+	}
+}
+
+func BenchmarkFig4aRecallVsFutures(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig4a(benchSeed)
+		if i == 0 {
+			benchPrint(b, experiments.FormatFig4a(rows))
+			b.ReportMetric(100*rows[0].Recall, "recall@minZ-%")
+			b.ReportMetric(100*rows[len(rows)-1].Recall, "recall@maxZ-%")
+		}
+	}
+}
+
+func BenchmarkFig4bParallelGroupSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig4b(benchSeed)
+		if i == 0 {
+			benchPrint(b, experiments.FormatFig4b(rows))
+			var minPrec, lastRecall float64 = 1, 1
+			for _, r := range rows {
+				if r.Precision < minPrec {
+					minPrec = r.Precision
+				}
+				lastRecall = r.Recall
+			}
+			b.ReportMetric(100*minPrec, "min-precision-%")
+			b.ReportMetric(100*lastRecall, "recall@p99-%")
+		}
+	}
+}
+
+func BenchmarkFig5ParallelSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig5(benchSeed)
+		if i == 0 {
+			benchPrint(b, experiments.FormatFig5(rows))
+			for _, r := range rows {
+				if r.GroupSize == 30 {
+					b.ReportMetric(r.Speedup, "speedup@K30-x")
+				}
+			}
+		}
+	}
+}
+
+// censusOnce shares the three testnet campaigns across benchmarks.
+var (
+	censusMu sync.Mutex
+)
+
+func benchCensus(b *testing.B, name string) *experiments.Census {
+	b.Helper()
+	censusMu.Lock()
+	defer censusMu.Unlock()
+	var cfg experiments.CensusConfig
+	switch name {
+	case "rinkeby":
+		cfg = experiments.RinkebyCensus(benchSeed)
+	case "goerli":
+		cfg = experiments.GoerliCensus(benchSeed)
+	default:
+		cfg = experiments.RopstenCensus(benchSeed)
+	}
+	switch {
+	case testing.Short():
+		cfg.Grow = cfg.Grow.WithN(cfg.Grow.N / 4)
+	case os.Getenv("TOPOSHOT_FULL") == "":
+		cfg.Grow = cfg.Grow.WithN(cfg.Grow.N / 2)
+	}
+	c, err := experiments.CachedCensus(cfg)
+	if err != nil {
+		b.Fatalf("census %s: %v", name, err)
+	}
+	return c
+}
+
+func BenchmarkFig6RopstenDegrees(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := benchCensus(b, "ropsten")
+		if i == 0 {
+			benchPrint(b, experiments.FormatDegreeDistribution(c.Measured, 90))
+			b.ReportMetric(c.Measured.AverageDegree(), "avg-degree")
+			b.ReportMetric(100*c.Score.Recall(), "recall-%")
+			b.ReportMetric(100*c.Score.Precision(), "precision-%")
+		}
+	}
+}
+
+func BenchmarkTable4RopstenProperties(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := benchCensus(b, "ropsten")
+		t := experiments.PropertyTable("ropsten", c, 3, benchSeed)
+		if i == 0 {
+			benchPrint(b, experiments.FormatGraphTable(t))
+			b.ReportMetric(t.Measured.Modularity, "modularity")
+			b.ReportMetric(t.Baselines.ER.Modularity, "ER-modularity")
+		}
+	}
+}
+
+func BenchmarkTable5RopstenCommunities(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := benchCensus(b, "ropsten")
+		rows := experiments.CommunityTable(c)
+		if i == 0 {
+			benchPrint(b, experiments.FormatCommunityTable("Ropsten", rows))
+			b.ReportMetric(float64(len(rows)), "communities")
+		}
+	}
+}
+
+func BenchmarkTable6MainnetCritical(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table6(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			benchPrint(b, experiments.FormatTable6(r))
+			agree := 0.0
+			if r.GroundTruthAgree {
+				agree = 1
+			}
+			ni := 0.0
+			if r.NonInterferenceOK {
+				ni = 1
+			}
+			b.ReportMetric(agree, "truth-agreement")
+			b.ReportMetric(ni, "non-interference")
+		}
+	}
+}
+
+func BenchmarkTable7CostSummary(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var cs []*experiments.Census
+		for _, n := range []string{"ropsten", "rinkeby", "goerli"} {
+			cs = append(cs, benchCensus(b, n))
+		}
+		rows := experiments.Table7(cs, nil)
+		if i == 0 {
+			benchPrint(b, experiments.FormatTable7(rows))
+			b.ReportMetric(rows[0].Cost, "ropsten-ETH")
+			b.ReportMetric(rows[0].Duration, "ropsten-hours")
+		}
+	}
+}
+
+func BenchmarkFig7LocalMempoolSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig7(benchSeed)
+		if i == 0 {
+			benchPrint(b, experiments.FormatFig7(rows))
+			// The theorem cell-exactness: every cell matches L−pending ≤ Z.
+			exact := 1.0
+			for _, r := range rows {
+				want := r.MempoolSize-r.Pending <= 5120
+				if (r.Recall == 1) != want {
+					exact = 0
+				}
+			}
+			b.ReportMetric(exact, "cells-exact")
+		}
+	}
+}
+
+func BenchmarkTable8LocalParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table8(benchSeed, 10)
+		if i == 0 {
+			benchPrint(b, experiments.FormatTable8(rows))
+			perfect := 1.0
+			for _, r := range rows {
+				if r.Recall != 1 || r.Precision != 1 {
+					perfect = 0
+				}
+			}
+			b.ReportMetric(perfect, "all-100%")
+		}
+	}
+}
+
+func BenchmarkFig8to10DegreeDistributions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rk := benchCensus(b, "rinkeby")
+		gl := benchCensus(b, "goerli")
+		if i == 0 {
+			benchPrint(b, experiments.FormatDegreeDistribution(rk.Measured, 150))
+			benchPrint(b, experiments.FormatDegreeDistribution(gl.Measured, 100))
+			b.ReportMetric(rk.Measured.AverageDegree(), "rinkeby-avg-degree")
+			b.ReportMetric(gl.Measured.AverageDegree(), "goerli-avg-degree")
+		}
+	}
+}
+
+func BenchmarkTable9RinkebyProperties(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := benchCensus(b, "rinkeby")
+		t := experiments.PropertyTable("rinkeby", c, 3, benchSeed)
+		if i == 0 {
+			benchPrint(b, experiments.FormatGraphTable(t))
+			b.ReportMetric(t.Measured.Modularity, "modularity")
+		}
+	}
+}
+
+func BenchmarkTable10GoerliProperties(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := benchCensus(b, "goerli")
+		t := experiments.PropertyTable("goerli", c, 3, benchSeed)
+		if i == 0 {
+			benchPrint(b, experiments.FormatGraphTable(t))
+			b.ReportMetric(t.Measured.Modularity, "modularity")
+		}
+	}
+}
+
+func BenchmarkAppCNonInterference(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AppC(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			benchPrint(b, experiments.FormatAppC(r))
+			ok := 0.0
+			if r.V1V2OK && !r.Twin.Interfered() {
+				ok = 1
+			}
+			b.ReportMetric(ok, "non-interference")
+			b.ReportMetric(float64(r.Blocks), "blocks-compared")
+		}
+	}
+}
+
+func BenchmarkAppATxProbeBaseline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AppA(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			benchPrint(b, experiments.FormatAppA(r))
+			b.ReportMetric(float64(r.Report.TxProbe.FalsePositives), "txprobe-FPs")
+			b.ReportMetric(float64(r.Report.TopoShot.FalsePositives), "toposhot-FPs")
+		}
+	}
+}
+
+func BenchmarkW2InactiveEdgeBaseline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.W2Crawl(benchSeed)
+		if i == 0 {
+			benchPrint(b, experiments.FormatW2(r))
+			b.ReportMetric(100*r.Report.PrecisionAsActive, "precision-as-active-%")
+		}
+	}
+}
+
+func BenchmarkAblationDesignChoices(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Ablations(benchSeed)
+		if i == 0 {
+			benchPrint(b, experiments.FormatAblations(rows))
+			b.ReportMetric(float64(len(rows)), "ablations")
+		}
+	}
+}
+
+func BenchmarkAppETopoShotUnderEIP1559(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AppE(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			benchPrint(b, experiments.FormatAppE(r))
+			b.ReportMetric(100*r.Score.Precision(), "precision-%")
+			b.ReportMetric(100*r.Score.Recall(), "recall-%")
+			b.ReportMetric(float64(r.BaseFeeEnd), "final-base-fee-wei")
+		}
+	}
+}
+
+func BenchmarkFloodZeroRExploit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var rows []experiments.FloodResult
+		for _, name := range []string{"geth", "nethermind", "aleth"} {
+			pol, _ := txpool.ClientByName(name)
+			rows = append(rows, experiments.FloodExploit(pol, benchSeed))
+		}
+		if i == 0 {
+			benchPrint(b, experiments.FormatFlood(rows))
+			b.ReportMetric(float64(rows[0].Replacements), "geth-accepted")
+			b.ReportMetric(float64(rows[1].Replacements), "nethermind-accepted")
+		}
+	}
+}
+
+func BenchmarkEclipseRiskAnalysis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := benchCensus(b, "ropsten")
+		r := graph.AnalyzeEclipseRisk(c.Measured.LargestComponent())
+		if i == 0 {
+			b.ReportMetric(float64(r.VulnerableAtOrBelow[3]), "nodes-deg≤3")
+			b.ReportMetric(float64(r.ArticulationPoints), "articulation-points")
+			b.ReportMetric(float64(r.Bridges), "bridges")
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Command toposhotd runs a live Ethereum-lite node over TCP — a peering
+// target for live-mode TopoShot (see examples/live-tcp and the prober in
+// internal/node).
+//
+// Usage:
+//
+//	toposhotd -listen 127.0.0.1:30311 -network 1337
+//	toposhotd -listen 127.0.0.1:30312 -peers 127.0.0.1:30311
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"toposhot/internal/node"
+	"toposhot/internal/txpool"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:0", "listen address")
+	networkID := flag.Uint64("network", 1337, "network id")
+	peers := flag.String("peers", "", "comma-separated peer addresses to dial")
+	client := flag.String("client", "geth", "mempool policy: geth|parity|nethermind|besu|aleth")
+	capacity := flag.Int("capacity", 0, "override mempool capacity (0 = client default)")
+	version := flag.String("version", "", "client version override")
+	flag.Parse()
+
+	pol, ok := txpool.ClientByName(*client)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown client %q\n", *client)
+		os.Exit(2)
+	}
+	if *capacity > 0 {
+		pol = pol.WithCapacity(*capacity)
+	}
+	cv := pol.ClientVersion
+	if *version != "" {
+		cv = *version
+	}
+	n, err := node.Start(node.Config{
+		ClientVersion: cv,
+		NetworkID:     *networkID,
+		Policy:        pol,
+		Seed:          time.Now().UnixNano(),
+	}, *listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "start: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("toposhotd listening on %s (network %d, client %s, pool %d)\n",
+		n.Addr(), *networkID, *client, pol.Capacity)
+
+	for _, p := range strings.Split(*peers, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		if err := n.Dial(p); err != nil {
+			fmt.Fprintf(os.Stderr, "dial %s: %v\n", p, err)
+		} else {
+			fmt.Printf("peered with %s\n", p)
+		}
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	ticker := time.NewTicker(10 * time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-sig:
+			fmt.Println("shutting down")
+			_ = n.Close()
+			return
+		case <-ticker.C:
+			total, pending, future := n.PoolStats()
+			fmt.Printf("peers=%d pool=%d (pending=%d future=%d)\n",
+				n.PeerCount(), total, pending, future)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+// Client profiling: recover each Ethereum client's mempool parameters
+// (replacement bump R, per-account future cap U, eviction threshold P,
+// capacity L) with the §5.1 black-box tests, reproducing Table 3 — and
+// flag the zero-R clients TopoShot cannot measure.
+package main
+
+import (
+	"fmt"
+
+	"toposhot/internal/experiments"
+	"toposhot/internal/profile"
+	"toposhot/internal/txpool"
+)
+
+func main() {
+	rows := experiments.Table3()
+	fmt.Println(experiments.FormatTable3(rows))
+
+	fmt.Println("notes:")
+	for _, r := range rows {
+		if !r.Measurable {
+			fmt.Printf("  • %s accepts same-price replacements (R=0): unmeasurable by\n"+
+				"    TopoShot and exploitable for free transaction flooding (§5.1).\n", r.Client)
+		}
+	}
+
+	// The individual probes are importable too:
+	fmt.Printf("\nstandalone probes against geth: R=%.3f  L=%d  U=%d  P=%d\n",
+		profile.MeasureR(txpool.Geth),
+		profile.MeasureL(txpool.Geth),
+		profile.MeasureU(txpool.Geth),
+		profile.MeasureP(txpool.Geth, txpool.Geth.Capacity))
+}

@@ -1,0 +1,3 @@
+module toposhot
+
+go 1.22

@@ -1,0 +1,103 @@
+package baseline
+
+import (
+	"testing"
+
+	"toposhot/internal/core"
+	"toposhot/internal/ethsim"
+	"toposhot/internal/txpool"
+	"toposhot/internal/types"
+)
+
+// buildNet wires a small line topology with prefilled pools.
+func buildNet(t testing.TB, seed int64, n int) (*ethsim.Network, *ethsim.Supernode, []types.NodeID) {
+	t.Helper()
+	cfg := ethsim.DefaultConfig(seed)
+	cfg.LatencyTail = 0.02
+	cfg.LatencyMax = 0.5
+	net := ethsim.NewNetwork(cfg)
+	pol := txpool.Geth.WithCapacity(256)
+	ids := make([]types.NodeID, n)
+	for i := range ids {
+		ids[i] = net.AddNode(ethsim.NodeConfig{Policy: pol, MaxPeers: 50}).ID()
+	}
+	for i := 0; i+1 < n; i++ {
+		if err := net.Connect(ids[i], ids[i+1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	super := ethsim.NewSupernode(net)
+	super.ConnectAll()
+	w := ethsim.NewWorkload(net, 0, types.Gwei/2, 2*types.Gwei)
+	w.Prefill(30*n, 3)
+	return net, super, ids
+}
+
+// TestTxProbeFloodsOnNonEdges is the Appendix-A claim: the marker reaches
+// non-adjacent nodes because Ethereum's account model keeps it valid.
+func TestTxProbeFloodsOnNonEdges(t *testing.T) {
+	net, super, ids := buildNet(t, 1, 6)
+	probe := NewTxProbe(net, super)
+	probe.X, probe.Settle = 3, 3
+	got, err := probe.MeasureOneLink(ids[0], ids[5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Fatal("TxProbe should false-positive on the distant pair")
+	}
+}
+
+func TestTxProbeUnknownNode(t *testing.T) {
+	net, super, ids := buildNet(t, 2, 3)
+	probe := NewTxProbe(net, super)
+	if _, err := probe.MeasureOneLink(ids[0], 999); err == nil {
+		t.Fatal("unknown target accepted")
+	}
+}
+
+func TestCompareShowsTopoShotAdvantage(t *testing.T) {
+	net, super, ids := buildNet(t, 3, 8)
+	probe := NewTxProbe(net, super)
+	probe.X, probe.Settle = 3, 3
+	params := core.DefaultParams()
+	params.Z = 256
+	params.X = 3
+	params.SettleTime = 4
+	m := core.NewMeasurer(net, super, params)
+	pairs := [][2]types.NodeID{
+		{ids[0], ids[1]}, // edge
+		{ids[3], ids[4]}, // edge
+		{ids[0], ids[4]}, // non-edge
+		{ids[1], ids[6]}, // non-edge
+	}
+	rep, err := Compare(m, probe, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TopoShot.FalsePositives != 0 {
+		t.Errorf("TopoShot FPs = %d", rep.TopoShot.FalsePositives)
+	}
+	if rep.TopoShot.Recall() != 1 {
+		t.Errorf("TopoShot recall = %v", rep.TopoShot.Recall())
+	}
+	if rep.TxProbe.FalsePositives == 0 {
+		t.Errorf("TxProbe unexpectedly clean (account-model flooding absent)")
+	}
+}
+
+func TestCrawlInactiveOverApproximates(t *testing.T) {
+	net, _, _ := buildNet(t, 4, 60)
+	rep := CrawlInactive(net, 4, 4)
+	if rep.InactiveEdges == 0 {
+		t.Fatal("crawl found nothing")
+	}
+	// Routing tables are discovery-driven, so they vastly over-approximate
+	// the sparse line topology.
+	if rep.InactiveEdges <= rep.ActiveEdges {
+		t.Fatalf("inactive (%d) should exceed active (%d)", rep.InactiveEdges, rep.ActiveEdges)
+	}
+	if rep.PrecisionAsActive > 0.5 {
+		t.Fatalf("routing tables too precise (%v): W2 distinction lost", rep.PrecisionAsActive)
+	}
+}

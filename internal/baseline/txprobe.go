@@ -1,0 +1,174 @@
+// Package baseline implements the comparison methods the paper positions
+// TopoShot against: a TxProbe port (whose isolation property collapses
+// under Ethereum's account model and push propagation — Appendix A and
+// §4.1), and the W2-class FIND_NODE crawl that measures inactive edges
+// instead of active ones.
+package baseline
+
+import (
+	"fmt"
+
+	"toposhot/internal/core"
+	"toposhot/internal/discv"
+	"toposhot/internal/ethsim"
+	"toposhot/internal/types"
+)
+
+// TxProbe ports TxProbe's Bitcoin topology-inference protocol onto an
+// Ethereum network: to test the link A–B it sends conflicting ("double
+// spend" — same sender and nonce) transactions tx1 to A and tx1' to B, then
+// a child transaction txA (next nonce) to A, and watches whether txA shows
+// up at B. Under Bitcoin's UTXO model txA is an orphan on B's side of the
+// network and stops propagating; under Ethereum's account model txA is a
+// perfectly valid pending transaction everywhere — nonce 1 is executable on
+// top of *either* conflicting nonce-0 transaction — so it floods the whole
+// network and the method reports links that do not exist.
+type TxProbe struct {
+	net   *ethsim.Network
+	super *ethsim.Supernode
+
+	// X is the conflict-propagation wait; Settle the detection wait.
+	X, Settle float64
+
+	acctSeq uint64
+}
+
+// NewTxProbe wires the baseline to a network and supernode.
+func NewTxProbe(net *ethsim.Network, super *ethsim.Supernode) *TxProbe {
+	return &TxProbe{net: net, super: super, X: 10, Settle: 6}
+}
+
+func (p *TxProbe) freshAccount() types.Address {
+	p.acctSeq++
+	return types.AddressFromUint64(0xdead<<40 | p.acctSeq)
+}
+
+// MeasureOneLink runs the TxProbe protocol against nodes a and b and
+// reports whether it *claims* a link exists.
+func (p *TxProbe) MeasureOneLink(a, b types.NodeID) (bool, error) {
+	if p.net.Node(a) == nil || p.net.Node(b) == nil {
+		return false, fmt.Errorf("baseline: unknown target %v or %v", a, b)
+	}
+	sender := p.freshAccount()
+	price := uint64(types.Gwei)
+	// The "double spend": same sender+nonce, different receivers.
+	tx1 := types.NewTransaction(sender, p.freshAccount(), 0, price, 0)
+	tx1p := types.NewTransaction(sender, p.freshAccount(), 0, price, 0)
+	p.super.Inject(a, tx1)
+	p.super.Inject(b, tx1p)
+	p.net.RunFor(p.X)
+
+	// The marker transaction: child of tx1, sent to A only.
+	txA := types.NewTransaction(sender, p.freshAccount(), 1, price, 0)
+	checkFrom := p.net.Now()
+	p.super.Inject(a, txA)
+	p.net.RunFor(p.Settle)
+	return p.super.PossessedBy(b, txA.Hash(), checkFrom), nil
+}
+
+// CompareReport contrasts TxProbe and TopoShot on the same node pairs.
+type CompareReport struct {
+	TxProbe  core.Score
+	TopoShot core.Score
+}
+
+// Compare measures every pair in `pairs` with both methods against the
+// network's ground truth and returns both scores — the Appendix-A
+// experiment showing TxProbe's false positives under Ethereum semantics.
+func Compare(m *core.Measurer, probe *TxProbe, pairs [][2]types.NodeID) (CompareReport, error) {
+	truth := core.EdgeSetOf(m.Network().Edges())
+	tpSet, tsSet := core.NewEdgeSet(), core.NewEdgeSet()
+	universe := make(map[types.NodeID]bool)
+	for _, pr := range pairs {
+		universe[pr[0]] = true
+		universe[pr[1]] = true
+		got, err := probe.MeasureOneLink(pr[0], pr[1])
+		if err != nil {
+			return CompareReport{}, err
+		}
+		if got {
+			tpSet.Add(pr[0], pr[1])
+		}
+		got, err = m.MeasureOneLink(pr[0], pr[1])
+		if err != nil {
+			return CompareReport{}, err
+		}
+		if got {
+			tsSet.Add(pr[0], pr[1])
+		}
+	}
+	// Score only over the measured pairs: restrict truth to the pair list.
+	measuredTruth := core.NewEdgeSet()
+	for _, pr := range pairs {
+		if truth.Has(pr[0], pr[1]) {
+			measuredTruth.Add(pr[0], pr[1])
+		}
+	}
+	return CompareReport{
+		TxProbe:  core.ScoreAgainst(tpSet, measuredTruth, nil),
+		TopoShot: core.ScoreAgainst(tsSet, measuredTruth, nil),
+	}, nil
+}
+
+// InactiveEdgeReport contrasts a W2 FIND_NODE crawl with the active-edge
+// ground truth.
+type InactiveEdgeReport struct {
+	InactiveEdges int
+	ActiveEdges   int
+	// Overlap counts inactive edges that are also active links.
+	Overlap int
+	// PrecisionAsActive is Overlap/InactiveEdges: how badly routing-table
+	// entries over-approximate the gossip topology.
+	PrecisionAsActive float64
+	// RecallOfActive is Overlap/ActiveEdges.
+	RecallOfActive float64
+}
+
+// CrawlInactive runs the W2 baseline: build a discovery system over the
+// network's nodes, crawl routing tables with FIND_NODE, and score the
+// result against the active topology. The routing tables are populated
+// independently of the active links (real DHT state is discovery-driven),
+// holding ~272 entries per node versus ~50 active neighbors.
+func CrawlInactive(net *ethsim.Network, lookups int, seed int64) InactiveEdgeReport {
+	var ids []types.NodeID
+	for _, nd := range net.Nodes() {
+		if nd.Config().Label == "supernode" {
+			continue
+		}
+		ids = append(ids, nd.ID())
+	}
+	sys := discv.NewSystem(ids, 8, 3, seed)
+	inactive := sys.CrawlInactiveEdges(lookups, seed+1)
+
+	activeSet := core.EdgeSetOf(net.Edges())
+	superID := types.NodeID(0)
+	for _, nd := range net.Nodes() {
+		if nd.Config().Label == "supernode" {
+			superID = nd.ID()
+		}
+	}
+	active := 0
+	for _, e := range activeSet.Edges() {
+		if e[0] != superID && e[1] != superID {
+			active++
+		}
+	}
+	overlap := 0
+	for _, e := range inactive {
+		if activeSet.Has(e[0], e[1]) {
+			overlap++
+		}
+	}
+	rep := InactiveEdgeReport{
+		InactiveEdges: len(inactive),
+		ActiveEdges:   active,
+		Overlap:       overlap,
+	}
+	if rep.InactiveEdges > 0 {
+		rep.PrecisionAsActive = float64(overlap) / float64(rep.InactiveEdges)
+	}
+	if rep.ActiveEdges > 0 {
+		rep.RecallOfActive = float64(overlap) / float64(rep.ActiveEdges)
+	}
+	return rep
+}

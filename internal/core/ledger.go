@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+
+	"toposhot/internal/chain"
+	"toposhot/internal/types"
+)
+
+// Ledger tracks the transactions a measurement campaign emits and prices the
+// campaign the way §5.2.2/§6.4 do: future transactions are guaranteed never
+// to be mined (their nonce gap never closes) and cost nothing; pending
+// measurement transactions (txC/txB/txA) cost gas × price if and when a
+// miner includes them.
+type Ledger struct {
+	pending map[types.Hash]*types.Transaction
+	futures int
+
+	// InjectedMsgs counts supernode sends, for load reporting.
+	InjectedMsgs int
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{pending: make(map[types.Hash]*types.Transaction)}
+}
+
+// RecordPending notes an emitted pending-class measurement transaction.
+func (l *Ledger) RecordPending(tx *types.Transaction) {
+	l.pending[tx.Hash()] = tx
+	l.InjectedMsgs++
+}
+
+// RecordFutures notes a batch of emitted future transactions.
+func (l *Ledger) RecordFutures(txs []*types.Transaction) {
+	l.futures += len(txs)
+	l.InjectedMsgs += len(txs)
+}
+
+// PendingCount returns the number of pending-class transactions emitted.
+func (l *Ledger) PendingCount() int { return len(l.pending) }
+
+// FutureCount returns the number of future transactions emitted.
+func (l *Ledger) FutureCount() int { return l.futures }
+
+// WorstCaseWei prices the campaign as if every pending-class measurement
+// transaction were mined — the estimation basis for the paper's $60M
+// full-mainnet figure.
+func (l *Ledger) WorstCaseWei() float64 {
+	var sum float64
+	for _, tx := range l.pending {
+		sum += float64(tx.Fee())
+	}
+	return sum
+}
+
+// ActualWei prices the campaign against a produced chain: only transactions
+// that were actually included cost Ether.
+func (l *Ledger) ActualWei(c *chain.Chain) float64 {
+	var sum float64
+	for h, tx := range l.pending {
+		if _, ok := c.Included(h); ok {
+			sum += float64(tx.Fee())
+		}
+	}
+	return sum
+}
+
+// Ether converts Wei to Ether for reporting.
+func Ether(wei float64) float64 { return wei / 1e18 }
+
+// String summarizes the ledger.
+func (l *Ledger) String() string {
+	return fmt.Sprintf("ledger{pending=%d futures=%d worstCase=%.6f ETH}",
+		len(l.pending), l.futures, Ether(l.WorstCaseWei()))
+}

@@ -1,0 +1,375 @@
+// Package core implements TopoShot: active-link inference for Ethereum
+// networks via transaction replacement and eviction (§5 of the paper).
+//
+// The package provides the pair-wise measurement primitive (MeasureOneLink),
+// the parallel primitive (MeasurePar), the two-round whole-network schedule
+// (MeasureNetwork), the pre-processing phase that handles non-default remote
+// nodes, the workload-adaptive non-interference extension for mainnet-grade
+// ethics (Appendix C), and precision/recall scoring against ground truth.
+package core
+
+import (
+	"fmt"
+
+	"toposhot/internal/ethsim"
+	"toposhot/internal/stats"
+	"toposhot/internal/types"
+)
+
+// Params configures the measurement primitive measureOneLink(A,B,X,Y,Z,R,U).
+type Params struct {
+	// X is the seconds Step 1 waits for txC to flood the network (10 in the
+	// paper's study; CalibrateX derives it per network).
+	X float64
+	// Y is txC's gas price in Wei. Zero means "estimate": the median pending
+	// price in the measurement node's own mempool (§5.2.1).
+	Y uint64
+	// Z is the number of future transactions used to fill a target's
+	// mempool (the Geth default capacity, 5120).
+	Z int
+	// BumpMil is the target client's replacement threshold R in thousandths
+	// (Geth: 100 = 10%).
+	BumpMil uint64
+	// U is the per-account future allowance of the target client; futures
+	// are spread over ⌈Z/U⌉ accounts.
+	U int
+	// SettleTime is the Step-4 wait for txA to cross A→B→M.
+	SettleTime float64
+	// VerifyEviction, when true, checks via RPC that txC actually left the
+	// target pools before planting txA/txB (the paper's validation does).
+	VerifyEviction bool
+	// YQuantile selects which quantile of M's pending prices prices txC;
+	// 0 means the paper's median. Campaigns on networks whose mempools run
+	// near capacity use a higher quantile so txC clears every pool's
+	// eviction floor (the "high enough to avoid eviction" condition of
+	// §5.2.1).
+	YQuantile float64
+	// DynamicFeeTip, when non-zero, makes every measurement transaction an
+	// EIP-1559 dynamic-fee transaction: the prices above become fee caps and
+	// this value the priority fee. A near-zero tip keeps miners away from
+	// the measurement transactions even when their caps sit far above the
+	// base fee (Appendix E's "max fee above base fee" requirement without
+	// inclusion pressure).
+	DynamicFeeTip uint64
+	// InterNodeWait paces MeasurePar's per-node setups: after injecting one
+	// node's future/plant stream, the measurer waits this many seconds
+	// before starting the next node. A negative value (the default) waits
+	// out the full latency cap — fully serializing setups, which preserves
+	// isolation exactly. Small positive values measure faster but let
+	// straggling deliveries from one node's setup interleave with the
+	// next's; this interference grows with group size and is the mechanism
+	// behind Figure 4b's recall decay.
+	InterNodeWait float64
+}
+
+// DefaultParams returns the paper's Geth-default configuration.
+func DefaultParams() Params {
+	return Params{
+		X:             10,
+		Z:             5120,
+		BumpMil:       100,
+		U:             4096,
+		SettleTime:    6,
+		InterNodeWait: -1,
+	}
+}
+
+// PriceTxC returns txC's price (Y).
+func (p Params) PriceTxC(y uint64) uint64 { return y }
+
+// PriceFuture returns the future transactions' price (1+R)·Y, nudged one Wei
+// above the threshold so they strictly outbid txC for eviction.
+func (p Params) PriceFuture(y uint64) uint64 {
+	return y*(1000+p.BumpMil)/1000 + 1
+}
+
+// PriceTxA returns txA's price (1+R/2)·Y.
+func (p Params) PriceTxA(y uint64) uint64 {
+	return y * (1000 + p.BumpMil/2) / 1000
+}
+
+// PriceTxB returns txB's price (1−R/2)·Y.
+func (p Params) PriceTxB(y uint64) uint64 {
+	return y * (1000 - p.BumpMil/2) / 1000
+}
+
+// Measurer runs TopoShot measurements over a simulated network through an
+// instrumented supernode M.
+type Measurer struct {
+	net    *ethsim.Network
+	super  *ethsim.Supernode
+	params Params
+
+	// acctSeq mints fresh measurement accounts; the high bit namespaces them
+	// away from workload accounts.
+	acctSeq uint64
+
+	// ZOverride holds per-node future-count overrides discovered by
+	// pre-processing (nodes with enlarged mempools need a bigger Z).
+	ZOverride map[types.NodeID]int
+
+	// Ledger accumulates cost accounting.
+	Ledger *Ledger
+
+	// Trace, when set, receives step-by-step progress lines.
+	Trace func(format string, args ...interface{})
+}
+
+// NewMeasurer wires a measurer to a network and supernode.
+func NewMeasurer(net *ethsim.Network, super *ethsim.Supernode, params Params) *Measurer {
+	if params.X == 0 {
+		params = DefaultParams()
+	}
+	return &Measurer{
+		net:       net,
+		super:     super,
+		params:    params,
+		ZOverride: make(map[types.NodeID]int),
+		Ledger:    NewLedger(),
+	}
+}
+
+// Params returns the measurer's configuration.
+func (m *Measurer) Params() Params { return m.params }
+
+// SetParams replaces the configuration.
+func (m *Measurer) SetParams(p Params) { m.params = p }
+
+// Supernode returns the measurement node M.
+func (m *Measurer) Supernode() *ethsim.Supernode { return m.super }
+
+// Network returns the network under measurement.
+func (m *Measurer) Network() *ethsim.Network { return m.net }
+
+func (m *Measurer) trace(format string, args ...interface{}) {
+	if m.Trace != nil {
+		m.Trace(format, args...)
+	}
+}
+
+// freshAccount mints a measurement account never seen by the network.
+func (m *Measurer) freshAccount() types.Address {
+	m.acctSeq++
+	return types.AddressFromUint64(1<<63 | m.acctSeq)
+}
+
+// EstimateY implements the paper's workload-adaptive pricing: rank the
+// pending transactions in M's own (standard-policy) mempool by gas price
+// and take the median (§5.2.1). It falls back to 0.1 Gwei on an empty pool.
+func (m *Measurer) EstimateY() uint64 {
+	prices := m.super.PendingPriceView()
+	if len(prices) == 0 {
+		return types.Gwei / 10
+	}
+	q := m.params.YQuantile
+	if q <= 0 {
+		return stats.MedianUint64(prices)
+	}
+	fs := make([]float64, len(prices))
+	for i, p := range prices {
+		fs[i] = float64(p)
+	}
+	return uint64(stats.Quantile(fs, q))
+}
+
+// resolveY returns the configured or estimated txC price.
+func (m *Measurer) resolveY() uint64 {
+	if m.params.Y != 0 {
+		return m.params.Y
+	}
+	return m.EstimateY()
+}
+
+// zFor returns the future-transaction count for a target, honoring
+// pre-processing overrides.
+func (m *Measurer) zFor(id types.NodeID) int {
+	if z, ok := m.ZOverride[id]; ok {
+		return z
+	}
+	return m.params.Z
+}
+
+// mintFutures builds z future transactions at the given price spread over
+// ⌈z/U⌉ accounts with U futures each (nonces 1..U leave the nonce-0 gap
+// open, so they can never turn pending).
+func (m *Measurer) mintFutures(z int, price uint64) []*types.Transaction {
+	if z <= 0 {
+		return nil
+	}
+	u := m.params.U
+	if u < 1 {
+		u = 1
+	}
+	txs := make([]*types.Transaction, 0, z)
+	for len(txs) < z {
+		acct := m.freshAccount()
+		for i := 0; i < u && len(txs) < z; i++ {
+			txs = append(txs, m.mintTx(acct, uint64(i+1), price))
+		}
+	}
+	return txs
+}
+
+// mintTx builds one measurement transaction at the given fee level,
+// dynamic-fee when the params ask for it.
+func (m *Measurer) mintTx(from types.Address, nonce, price uint64) *types.Transaction {
+	to := m.freshAccount()
+	if m.params.DynamicFeeTip > 0 {
+		return types.NewDynamicFeeTransaction(from, to, nonce, price, m.params.DynamicFeeTip, 0)
+	}
+	return types.NewTransaction(from, to, nonce, price, 0)
+}
+
+// MeasureOneLink runs the four-step primitive of §5.2 against target nodes
+// a and b and reports whether an active link a→b was detected. The
+// measurement is directional in mechanics (txA planted on a, txB on b) but
+// detects the undirected link.
+func (m *Measurer) MeasureOneLink(a, b types.NodeID) (bool, error) {
+	if a == b {
+		return false, fmt.Errorf("core: cannot measure self-link %v", a)
+	}
+	if m.net.Node(a) == nil || m.net.Node(b) == nil {
+		return false, fmt.Errorf("core: unknown target %v or %v", a, b)
+	}
+	y := m.resolveY()
+	acctC := m.freshAccount()
+
+	// Step 1: plant txC on A and let it flood the network for X seconds.
+	txC := m.mintTx(acctC, 0, m.params.PriceTxC(y))
+	m.Ledger.RecordPending(txC)
+	m.super.Inject(a, txC)
+	m.trace("step1: txC=%v → %v, waiting X=%.1fs", txC.Hash(), a, m.params.X)
+	m.net.RunFor(m.params.X)
+
+	// Step 2: fill B with futures (evicting txC there), then plant txB.
+	futB := m.mintFutures(m.zFor(b), m.params.PriceFuture(y))
+	m.Ledger.RecordFutures(futB)
+	m.super.Inject(b, futB...)
+	txB := m.mintTx(acctC, 0, m.params.PriceTxB(y))
+	txB.To = txC.To
+	m.Ledger.RecordPending(txB)
+	m.super.Inject(b, txB)
+	m.runUntilDrained()
+
+	// Step 3: same on A, planting txA.
+	futA := m.mintFutures(m.zFor(a), m.params.PriceFuture(y))
+	m.Ledger.RecordFutures(futA)
+	m.super.Inject(a, futA...)
+	txA := m.mintTx(acctC, 0, m.params.PriceTxA(y))
+	txA.To = txC.To
+	m.Ledger.RecordPending(txA)
+	checkFrom := m.net.Now()
+	m.super.Inject(a, txA)
+	m.runUntilDrained()
+
+	if m.params.VerifyEviction {
+		for _, id := range []types.NodeID{a, b} {
+			if tx, err := m.net.Node(id).RPC().GetTransactionByHash(txC.Hash()); err == nil && tx != nil {
+				m.trace("warning: txC still buffered on %v", id)
+			}
+		}
+	}
+
+	// Step 4: does M receive txA from B — and only from B? Receiving txA
+	// from any other peer means isolation broke; the observation is
+	// discarded, trading recall for the guaranteed 100% precision.
+	m.net.RunFor(m.params.SettleTime)
+	detected := m.super.ObservedOnlyFrom(b, txA.Hash(), checkFrom)
+	m.trace("step4: link %v–%v detected=%v", a, b, detected)
+	return detected, nil
+}
+
+// MeasureLinkRepeated runs the primitive `repeats` times and ORs the
+// results — the passive recall-improvement heuristic of §5.2.3.
+func (m *Measurer) MeasureLinkRepeated(a, b types.NodeID, repeats int) (bool, error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	for i := 0; i < repeats; i++ {
+		ok, err := m.MeasureOneLink(a, b)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// runUntilDrained advances virtual time until the supernode's injection
+// queue has emptied and every in-flight delivery (bounded by the network's
+// latency cap) has landed.
+func (m *Measurer) runUntilDrained() {
+	drain := m.super.DrainTime()
+	if drain > m.net.Now() {
+		m.net.Engine().RunUntil(drain)
+	}
+	m.net.RunFor(m.net.Config().LatencyMax + 0.5)
+}
+
+// interNodeWait paces consecutive per-node setups in MeasurePar.
+func (m *Measurer) interNodeWait() {
+	drain := m.super.DrainTime()
+	if drain > m.net.Now() {
+		m.net.Engine().RunUntil(drain)
+	}
+	w := m.params.InterNodeWait
+	if w < 0 {
+		w = m.net.Config().LatencyMax + 0.5
+	}
+	m.net.RunFor(w)
+}
+
+// CalibrateX implements §5.2's probe for the propagation wait X: it joins
+// `probes` observer nodes (mutually unconnected), floods one transaction
+// from a random member, and measures the time until the transaction is
+// present on all observers, repeating `trials` times and reporting the
+// maximum (the paper's "with 99.9% chance present after X seconds").
+func (m *Measurer) CalibrateX(probes, trials int) float64 {
+	var worst float64
+	y := m.resolveY()
+	for t := 0; t < trials; t++ {
+		// Observer nodes attach to random existing nodes.
+		obs := make([]*ethsim.Node, probes)
+		all := m.net.Nodes()
+		for i := range obs {
+			obs[i] = m.net.AddNode(ethsim.DefaultNodeConfig())
+			for j := 0; j < 3; j++ {
+				peer := all[m.net.Engine().Rand().Intn(len(all))]
+				if peer.ID() != obs[i].ID() {
+					_ = m.net.Connect(obs[i].ID(), peer.ID())
+				}
+			}
+		}
+		acct := m.freshAccount()
+		tx := types.NewTransaction(acct, m.freshAccount(), 0, y+uint64(t)+1, 0)
+		start := m.net.Now()
+		entry := all[m.net.Engine().Rand().Intn(len(all))]
+		m.super.Inject(entry.ID(), tx)
+		// Advance until all observers have it, in 0.5 s increments.
+		deadline := start + 120
+		for m.net.Now() < deadline {
+			m.net.RunFor(0.5)
+			allHave := true
+			for _, o := range obs {
+				if !o.Pool().Has(tx.Hash()) {
+					allHave = false
+					break
+				}
+			}
+			if allHave {
+				break
+			}
+		}
+		if d := m.net.Now() - start; d > worst {
+			worst = d
+		}
+		for _, o := range obs {
+			for _, p := range o.Peers() {
+				m.net.Disconnect(o.ID(), p)
+			}
+		}
+	}
+	return worst
+}

@@ -1,0 +1,384 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"toposhot/internal/types"
+)
+
+// Edge is one directed source→sink measurement target; detection implies the
+// undirected active link.
+type Edge struct {
+	Source, Sink types.NodeID
+}
+
+// ParResult reports one parallel iteration.
+type ParResult struct {
+	// Detected holds the edges confirmed by Step p4.
+	Detected *EdgeSet
+	// DetectedVia maps each detected (normalized) edge to the txA hash that
+	// proved it — forensic data for validation experiments.
+	DetectedVia map[[2]types.NodeID]types.Hash
+	// SetupFailed lists edges whose txA was not observed propagating from
+	// the source (the p2 proceed-only-if check); they should be re-measured.
+	SetupFailed []Edge
+	// Duration is the virtual time the iteration consumed.
+	Duration float64
+}
+
+// MeasurePar runs the parallel measurement primitive of §5.3.1 over the
+// given edges. All sources must be distinct from all sinks.
+//
+// Ordering note: the paper lists source setup (p2) before sink setup (p3),
+// but a source propagates its txA exactly once, on admission — the same
+// reason the *serial* primitive plants txB on B (Step 2) before txA on A
+// (Step 3). We therefore set up sinks first, then sources, which preserves
+// every isolation argument of §5.3.1 (a not-yet-set-up node holds txC and
+// rejects both txA — bump below R — and txB — priced below txC).
+func (m *Measurer) MeasurePar(edges []Edge) (*ParResult, error) {
+	start := m.net.Now()
+	res := &ParResult{Detected: NewEdgeSet(), DetectedVia: make(map[[2]types.NodeID]types.Hash)}
+	if len(edges) == 0 {
+		res.Duration = 0
+		return res, nil
+	}
+
+	sources, sinks := participantSets(edges)
+	for s := range sources {
+		if _, isSink := sinks[s]; isSink {
+			return nil, fmt.Errorf("core: node %v is both source and sink", s)
+		}
+	}
+	for id := range sources {
+		if m.net.Node(id) == nil {
+			return nil, fmt.Errorf("core: unknown source %v", id)
+		}
+	}
+	for id := range sinks {
+		if m.net.Node(id) == nil {
+			return nil, fmt.Errorf("core: unknown sink %v", id)
+		}
+	}
+
+	y := m.resolveY()
+	// Per-edge measurement transactions: txC_i (price Y), later replaced by
+	// txA_i on the source and txB_i on the sink, all on edge-private
+	// accounts (p1: "any two different transactions are sent from different
+	// EOAs").
+	txC := make([]*types.Transaction, len(edges))
+	txA := make([]*types.Transaction, len(edges))
+	txB := make([]*types.Transaction, len(edges))
+	for i := range edges {
+		acct := m.freshAccount()
+		txC[i] = m.mintTx(acct, 0, m.params.PriceTxC(y))
+		txA[i] = m.mintTx(acct, 0, m.params.PriceTxA(y))
+		txA[i].To = txC[i].To
+		txB[i] = m.mintTx(acct, 0, m.params.PriceTxB(y))
+		txB[i].To = txC[i].To
+		m.Ledger.RecordPending(txC[i])
+		m.Ledger.RecordPending(txA[i])
+		m.Ledger.RecordPending(txB[i])
+	}
+
+	// p1: flood all txC through the network and wait X.
+	entries := m.entryNodes(sources, sinks)
+	for i, tx := range txC {
+		m.super.Inject(entries[i%len(entries)], tx)
+	}
+	m.net.RunFor(m.params.X)
+
+	// Sink setup (paper's p3): Z futures evict the txCs, then the r-slot
+	// stream plants txB for own edges and re-plants txC for the others.
+	sinkOrder := sortedIDs(sinks)
+	for _, b := range sinkOrder {
+		fut := m.mintFutures(m.zFor(b), m.params.PriceFuture(y))
+		m.Ledger.RecordFutures(fut)
+		m.super.Inject(b, fut...)
+		stream := make([]*types.Transaction, len(edges))
+		for i, e := range edges {
+			if e.Sink == b {
+				stream[i] = txB[i]
+			} else {
+				stream[i] = txC[i]
+			}
+		}
+		m.super.Inject(b, stream...)
+		m.interNodeWait()
+	}
+	m.runUntilDrained()
+
+	// Source setup (paper's p2): Z futures, other-edge txCs, own txAs.
+	checkFrom := m.net.Now()
+	srcOrder := sortedIDs(sources)
+	for _, a := range srcOrder {
+		fut := m.mintFutures(m.zFor(a), m.params.PriceFuture(y))
+		m.Ledger.RecordFutures(fut)
+		m.super.Inject(a, fut...)
+		var others, own []*types.Transaction
+		for i, e := range edges {
+			if e.Source == a {
+				own = append(own, txA[i])
+			} else {
+				others = append(others, txC[i])
+			}
+		}
+		m.super.Inject(a, others...)
+		m.super.Inject(a, own...)
+		m.interNodeWait()
+	}
+	m.runUntilDrained()
+
+	// p2's proceed-only-if check: verify each txA actually stuck on its
+	// source before trusting the iteration's negatives.
+	for i, e := range edges {
+		tx, err := m.net.Node(e.Source).RPC().GetTransactionByHash(txA[i].Hash())
+		if err != nil || tx == nil {
+			res.SetupFailed = append(res.SetupFailed, e)
+		}
+	}
+
+	// p4: wait for propagation, then look for txA_i arriving from sink_i —
+	// and from sink_i alone; a txA observed from anyone else has escaped
+	// isolation and is discarded (precision over recall).
+	m.net.RunFor(m.params.SettleTime)
+	for i, e := range edges {
+		if m.super.ObservedOnlyFrom(e.Sink, txA[i].Hash(), checkFrom) {
+			res.Detected.Add(e.Source, e.Sink)
+			res.DetectedVia[norm(e.Source, e.Sink)] = txA[i].Hash()
+		}
+	}
+	res.Duration = m.net.Now() - start
+	return res, nil
+}
+
+// participantSets splits the edge list into source and sink id sets.
+func participantSets(edges []Edge) (sources, sinks map[types.NodeID]struct{}) {
+	sources = make(map[types.NodeID]struct{})
+	sinks = make(map[types.NodeID]struct{})
+	for _, e := range edges {
+		sources[e.Source] = struct{}{}
+		sinks[e.Sink] = struct{}{}
+	}
+	return sources, sinks
+}
+
+func sortedIDs(set map[types.NodeID]struct{}) []types.NodeID {
+	out := make([]types.NodeID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// entryNodes picks nodes to seed txC floods through: preferably
+// non-participants (plain C nodes), falling back to sinks — whose state is
+// rebuilt during setup anyway.
+func (m *Measurer) entryNodes(sources, sinks map[types.NodeID]struct{}) []types.NodeID {
+	var entries []types.NodeID
+	for _, nd := range m.net.Nodes() {
+		id := nd.ID()
+		if id == m.super.ID() || nd.Config().Unresponsive {
+			continue
+		}
+		if _, ok := sources[id]; ok {
+			continue
+		}
+		if _, ok := sinks[id]; ok {
+			continue
+		}
+		entries = append(entries, id)
+		if len(entries) >= 8 {
+			break
+		}
+	}
+	if len(entries) == 0 {
+		entries = sortedIDs(sinks)
+	}
+	return entries
+}
+
+// ScheduleResult reports a whole-network measurement.
+type ScheduleResult struct {
+	Detected *EdgeSet
+	// DetectedVia maps detected edges to their proving txA hashes.
+	DetectedVia map[[2]types.NodeID]types.Hash
+	Iterations  int
+	Calls       int
+	SetupFails  int
+	Duration    float64
+	// PairsMeasured is the number of node pairs covered.
+	PairsMeasured int
+}
+
+// MeasureNetwork measures every node pair among `nodes` with the two-round
+// parallel schedule of §5.3.2: round 1 measures group-to-rest edges in N/K
+// iterations; round 2 halves groups recursively for log K iterations of
+// intra-group measurement. edgeBudget caps the edge count per MeasurePar
+// call (the paper's ≤2000 mempool-slot discipline); oversized iterations are
+// split into consecutive calls.
+func (m *Measurer) MeasureNetwork(nodes []types.NodeID, k, edgeBudget int) (*ScheduleResult, error) {
+	if k < 1 {
+		k = 1
+	}
+	if edgeBudget < 1 {
+		edgeBudget = 2000
+	}
+	start := m.net.Now()
+	out := &ScheduleResult{Detected: NewEdgeSet(), DetectedVia: make(map[[2]types.NodeID]types.Hash)}
+
+	// Batches are shaped to bound participants as well as edges: each
+	// participant costs a full mempool fill (Z futures) plus an r-slot
+	// stream, so a batch of r edges is cheapest when it touches about √r
+	// sources and √r sinks rather than 1×r.
+	maxParticipants := 2 * isqrt(edgeBudget)
+	if maxParticipants < 4 {
+		maxParticipants = 4
+	}
+	run := func(edges []Edge) error {
+		for len(edges) > 0 {
+			srcs := make(map[types.NodeID]struct{})
+			snks := make(map[types.NodeID]struct{})
+			n := 0
+			for n < len(edges) && n < edgeBudget {
+				e := edges[n]
+				srcs[e.Source] = struct{}{}
+				snks[e.Sink] = struct{}{}
+				if len(srcs)+len(snks) > maxParticipants && n > 0 {
+					break
+				}
+				n++
+			}
+			batch := edges[:n]
+			edges = edges[n:]
+			res, err := m.MeasurePar(batch)
+			if err != nil {
+				return err
+			}
+			out.Calls++
+			out.SetupFails += len(res.SetupFailed)
+			out.Detected.Union(res.Detected)
+			for k, v := range res.DetectedVia {
+				out.DetectedVia[k] = v
+			}
+			out.PairsMeasured += len(batch)
+		}
+		return nil
+	}
+
+	// Round 1: group i × everything after group i.
+	var groups [][]types.NodeID
+	for i := 0; i*k < len(nodes); i++ {
+		lo, hi := i*k, (i+1)*k
+		if hi > len(nodes) {
+			hi = len(nodes)
+		}
+		groups = append(groups, nodes[lo:hi])
+	}
+	// Block-shaped enumeration: √budget sources × √budget sinks per batch
+	// keeps per-batch mempool fills proportional to √r instead of r.
+	sp := isqrt(edgeBudget)
+	if sp < 1 {
+		sp = 1
+	}
+	for i, g := range groups {
+		restStart := (i + 1) * k
+		if restStart >= len(nodes) {
+			break
+		}
+		rest := nodes[restStart:]
+		out.Iterations++
+		for s0 := 0; s0 < len(g); s0 += sp {
+			schunk := g[s0:minInt(s0+sp, len(g))]
+			sq := edgeBudget / len(schunk)
+			if sq < 1 {
+				sq = 1
+			}
+			for t0 := 0; t0 < len(rest); t0 += sq {
+				tchunk := rest[t0:minInt(t0+sq, len(rest))]
+				edges := make([]Edge, 0, len(schunk)*len(tchunk))
+				for _, a := range schunk {
+					for _, b := range tchunk {
+						edges = append(edges, Edge{Source: a, Sink: b})
+					}
+				}
+				if err := run(edges); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// Round 2: split every group in half; one iteration measures the
+	// cross-half pairs of all groups simultaneously; recurse on halves.
+	cur := groups
+	for {
+		var edges []Edge
+		var next [][]types.NodeID
+		for _, g := range cur {
+			if len(g) < 2 {
+				next = append(next, g)
+				continue
+			}
+			half := len(g) / 2
+			a, b := g[:half], g[half:]
+			for _, s := range a {
+				for _, t := range b {
+					edges = append(edges, Edge{Source: s, Sink: t})
+				}
+			}
+			next = append(next, a, b)
+		}
+		if len(edges) == 0 {
+			break
+		}
+		out.Iterations++
+		if err := run(edges); err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+
+	out.Duration = m.net.Now() - start
+	return out, nil
+}
+
+// isqrt returns ⌊√n⌋ for small non-negative n.
+func isqrt(n int) int {
+	r := 0
+	for (r+1)*(r+1) <= n {
+		r++
+	}
+	return r
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MeasureAllPairsSerial measures every pair with the one-link primitive —
+// the serial baseline Figure 5's speedup is computed against.
+func (m *Measurer) MeasureAllPairsSerial(nodes []types.NodeID) (*ScheduleResult, error) {
+	start := m.net.Now()
+	out := &ScheduleResult{Detected: NewEdgeSet()}
+	for i := 0; i < len(nodes); i++ {
+		for j := i + 1; j < len(nodes); j++ {
+			ok, err := m.MeasureOneLink(nodes[i], nodes[j])
+			if err != nil {
+				return nil, err
+			}
+			out.Calls++
+			out.Iterations++
+			out.PairsMeasured++
+			if ok {
+				out.Detected.Add(nodes[i], nodes[j])
+			}
+		}
+	}
+	out.Duration = m.net.Now() - start
+	return out, nil
+}

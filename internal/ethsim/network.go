@@ -1,0 +1,265 @@
+// Package ethsim simulates an Ethereum peer-to-peer blockchain overlay on
+// virtual time: nodes with Table-3 mempools, direct-push and hash-announce
+// transaction gossip, background workload, miners, and an instrumented
+// supernode for measurements.
+//
+// The simulator substitutes for the live testnets the paper measures. It is
+// deliberately faithful to the behaviours TopoShot depends on — mempool
+// admission/replacement/eviction, gossip reachability and timing, the 5 s
+// announcement lock — and deliberately simple elsewhere (no PoW, no state
+// execution).
+package ethsim
+
+import (
+	"fmt"
+	"sort"
+
+	"toposhot/internal/sim"
+	"toposhot/internal/types"
+)
+
+// Config holds network-wide simulation parameters.
+type Config struct {
+	// Seed drives all randomness (latency, peer choice, workload).
+	Seed int64
+	// LatencyBase is the minimum one-hop delivery delay in seconds.
+	LatencyBase float64
+	// LatencyTail is the mean of the exponential straggler tail added to the
+	// base latency. Stragglers are what occasionally re-propagate txC into a
+	// just-evicted mempool (§5.2.1) and erode parallel recall (Fig 4b).
+	LatencyTail float64
+	// LatencyMax caps one-hop latency.
+	LatencyMax float64
+	// AnnounceLock is the announcement-response window (5 s in Geth): after
+	// requesting an announced transaction a node ignores further
+	// announcements of the same hash for this long.
+	AnnounceLock float64
+	// SendSpacing is the interval between consecutive messages injected by
+	// the supernode, modelling its uplink serialization. It makes parallel
+	// measurement setup time grow with group size, as observed in Fig 4b/5.
+	SendSpacing float64
+	// FlushInterval is the gossip coalescing window: admissions buffer in a
+	// per-node out-queue flushed on this timer, like Geth's broadcast loop.
+	FlushInterval float64
+	// SpikeProb is the probability a delivery suffers a congestion spike of
+	// up to SpikeMax extra seconds — the straggler deliveries that break
+	// parallel-measurement isolation when per-node pacing gets tight
+	// (Figure 4b). Zero disables spikes.
+	SpikeProb float64
+	// SpikeMax bounds a congestion spike in seconds.
+	SpikeMax float64
+}
+
+// DefaultConfig returns parameters resembling a public testnet: ~50 ms base
+// hop latency with a 100 ms straggler tail capped at 3 s.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:          seed,
+		LatencyBase:   0.05,
+		LatencyTail:   0.1,
+		LatencyMax:    3.0,
+		AnnounceLock:  5.0,
+		SendSpacing:   0.002,
+		FlushInterval: 0.08,
+	}
+}
+
+// Network is a simulated Ethereum overlay.
+type Network struct {
+	cfg   Config
+	eng   *sim.Engine
+	nodes map[types.NodeID]*Node
+	order []types.NodeID // insertion order, for deterministic iteration
+
+	// MsgCount tallies delivered messages by kind ("txs", "announce",
+	// "request", "block").
+	MsgCount map[string]int
+
+	// lastDelivery enforces per-link FIFO ordering: devp2p runs over TCP,
+	// so two messages on the same directed link never reorder even though
+	// their sampled latencies differ.
+	lastDelivery map[[2]types.NodeID]float64
+
+	// OnOffer, when set, observes every transaction offer on every node —
+	// a global trace hook for debugging and white-box experiments.
+	OnOffer func(node, from types.NodeID, tx *types.Transaction, status string)
+
+	janitorHooks []func(now float64)
+
+	// workloadCount numbers workloads attached to this network.
+	workloadCount uint64
+
+	nextID types.NodeID
+}
+
+// NewNetwork returns an empty network running on a fresh engine.
+func NewNetwork(cfg Config) *Network {
+	return &Network{
+		cfg:          cfg,
+		eng:          sim.New(cfg.Seed),
+		nodes:        make(map[types.NodeID]*Node),
+		MsgCount:     make(map[string]int),
+		lastDelivery: make(map[[2]types.NodeID]float64),
+	}
+}
+
+// Engine exposes the underlying event engine (for schedulers and tests).
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Now returns the current virtual time.
+func (n *Network) Now() float64 { return n.eng.Now() }
+
+// AddNode creates a node with the given configuration and returns it.
+func (n *Network) AddNode(cfg NodeConfig) *Node {
+	n.nextID++
+	id := n.nextID
+	node := newNode(n, id, cfg)
+	n.nodes[id] = node
+	n.order = append(n.order, id)
+	return node
+}
+
+// Node returns the node with the given id, or nil.
+func (n *Network) Node(id types.NodeID) *Node { return n.nodes[id] }
+
+// Nodes returns all nodes in creation order.
+func (n *Network) Nodes() []*Node {
+	out := make([]*Node, 0, len(n.order))
+	for _, id := range n.order {
+		out = append(out, n.nodes[id])
+	}
+	return out
+}
+
+// NumNodes returns the node count.
+func (n *Network) NumNodes() int { return len(n.nodes) }
+
+// Connect establishes a bidirectional active link between two nodes. It is
+// idempotent and refuses self-links.
+func (n *Network) Connect(a, b types.NodeID) error {
+	if a == b {
+		return fmt.Errorf("ethsim: self-link on %v", a)
+	}
+	na, nb := n.nodes[a], n.nodes[b]
+	if na == nil || nb == nil {
+		return fmt.Errorf("ethsim: connect unknown node %v-%v", a, b)
+	}
+	na.addPeer(b)
+	nb.addPeer(a)
+	return nil
+}
+
+// Disconnect tears down the link between two nodes, if present.
+func (n *Network) Disconnect(a, b types.NodeID) {
+	if na := n.nodes[a]; na != nil {
+		na.removePeer(b)
+	}
+	if nb := n.nodes[b]; nb != nil {
+		nb.removePeer(a)
+	}
+}
+
+// Connected reports whether an active link exists between a and b.
+func (n *Network) Connected(a, b types.NodeID) bool {
+	na := n.nodes[a]
+	if na == nil {
+		return false
+	}
+	_, ok := na.peers[b]
+	return ok
+}
+
+// Edges returns the ground-truth undirected edge list, each edge once with
+// the smaller id first, sorted — the oracle TopoShot results are scored
+// against.
+func (n *Network) Edges() [][2]types.NodeID {
+	var out [][2]types.NodeID
+	for _, id := range n.order {
+		node := n.nodes[id]
+		for pid := range node.peers {
+			if id < pid {
+				out = append(out, [2]types.NodeID{id, pid})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// send schedules delivery of a message over the a→b link with sampled
+// latency. Messages to unresponsive or unknown nodes are dropped silently,
+// like packets to a dead peer.
+func (n *Network) send(from, to types.NodeID, deliver func(dst *Node), kind string) {
+	dst := n.nodes[to]
+	if dst == nil {
+		return
+	}
+	lat := n.eng.Jitter(n.cfg.LatencyBase, n.cfg.LatencyTail, n.cfg.LatencyMax)
+	if n.cfg.SpikeProb > 0 && n.eng.Rand().Float64() < n.cfg.SpikeProb {
+		lat += n.eng.Uniform(0, n.cfg.SpikeMax)
+	}
+	at := n.eng.Now() + lat
+	link := [2]types.NodeID{from, to}
+	if last := n.lastDelivery[link]; at <= last {
+		at = last + 1e-6
+	}
+	n.lastDelivery[link] = at
+	n.eng.At(at, func() {
+		if dst.cfg.Unresponsive {
+			return
+		}
+		n.MsgCount[kind]++
+		deliver(dst)
+	})
+}
+
+// Run advances the simulation until the event queue drains or the budget is
+// exhausted.
+func (n *Network) Run(budget int) { n.eng.Run(budget) }
+
+// RunFor advances virtual time by d seconds.
+func (n *Network) RunFor(d float64) { n.eng.RunUntil(n.eng.Now() + d) }
+
+// TickPools advances each pool's expiry clock to the current virtual time
+// and prunes expired announcement locks.
+func (n *Network) TickPools() {
+	now := n.eng.Now()
+	for _, id := range n.order {
+		nd := n.nodes[id]
+		nd.pool.SetTime(now)
+		for h, until := range nd.announceLock {
+			if now >= until {
+				delete(nd.announceLock, h)
+			}
+		}
+	}
+	for _, h := range n.janitorHooks {
+		h(now)
+	}
+}
+
+// AddJanitorHook registers a callback run on every janitor tick (the
+// supernode uses it to age its estimation pool).
+func (n *Network) AddJanitorHook(h func(now float64)) {
+	n.janitorHooks = append(n.janitorHooks, h)
+}
+
+// StartJanitor ticks pool expiry every `interval` virtual seconds, forever.
+// Real clients run an equivalent background loop dropping transactions
+// older than the expiry (3 h in Geth).
+func (n *Network) StartJanitor(interval float64) {
+	var tick func()
+	tick = func() {
+		n.TickPools()
+		n.eng.After(interval, tick)
+	}
+	n.eng.After(interval, tick)
+}

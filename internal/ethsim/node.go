@@ -1,0 +1,292 @@
+package ethsim
+
+import (
+	"math"
+	"sort"
+
+	"toposhot/internal/txpool"
+	"toposhot/internal/types"
+)
+
+// NodeConfig describes one simulated node's client behaviour. The non-default
+// knobs model the measurement hazards §6.1 attributes missing recall to.
+type NodeConfig struct {
+	// Policy is the mempool policy (client type and R/U/P/L values).
+	Policy txpool.Policy
+	// MaxPeers caps active neighbors; 0 means the Geth default of 50.
+	MaxPeers int
+	// LegacyPushAll disables announcements: every pending transaction is
+	// pushed whole to every peer (pre-1.9.11 Geth, Parity).
+	LegacyPushAll bool
+	// NoForward marks a node that buffers but never relays transactions
+	// (§6.1 culprit 3 for missing recall).
+	NoForward bool
+	// ForwardFutures marks a non-default node that relays future
+	// transactions, invalidating TopoShot's assumption; pre-processing
+	// detects and excludes such nodes (§6.2.1).
+	ForwardFutures bool
+	// Unresponsive marks a node that drops every incoming message.
+	Unresponsive bool
+	// Miner enables block production on this node (see chain wiring).
+	Miner bool
+	// Label tags the node with a service name (for the mainnet scenario).
+	Label string
+	// VersionTag, when set, is appended to the client-version string — the
+	// per-node codename §6.3's critical-node discovery matches on.
+	VersionTag string
+}
+
+// DefaultNodeConfig returns a vanilla Geth node.
+func DefaultNodeConfig() NodeConfig {
+	return NodeConfig{Policy: txpool.Geth, MaxPeers: 50}
+}
+
+// TxReceipt records one transaction delivery observed by a node hook.
+type TxReceipt struct {
+	From types.NodeID
+	Tx   *types.Transaction
+	At   float64
+}
+
+// Node is one simulated Ethereum peer.
+type Node struct {
+	id   types.NodeID
+	net  *Network
+	cfg  NodeConfig
+	pool *txpool.Pool
+
+	peers map[types.NodeID]struct{}
+
+	// announceLock maps a tx hash to the time until which further
+	// announcements of that hash are ignored (the 5 s window).
+	announceLock map[types.Hash]float64
+
+	// outQ buffers transactions awaiting the coalesced gossip flush, with
+	// the peer each one arrived from (never sent back there).
+	outQ           []outItem
+	flushScheduled bool
+
+	// OnTxAdmitted, when set, fires after a transaction enters the pool.
+	OnTxAdmitted func(rcpt TxReceipt, res txpool.Result)
+	// OnTxDelivered, when set, fires for every transaction delivery,
+	// admitted or not (the supernode's observation hook).
+	OnTxDelivered func(rcpt TxReceipt)
+	// OnHashAnnounced, when set, fires for every announced hash, before the
+	// lock/known filtering (the supernode records who advertises what).
+	OnHashAnnounced func(from types.NodeID, h types.Hash, at float64)
+}
+
+func newNode(net *Network, id types.NodeID, cfg NodeConfig) *Node {
+	if cfg.MaxPeers == 0 {
+		cfg.MaxPeers = 50
+	}
+	if cfg.Policy.Capacity == 0 {
+		cfg.Policy = txpool.Geth
+	}
+	return &Node{
+		id:           id,
+		net:          net,
+		cfg:          cfg,
+		pool:         txpool.New(cfg.Policy),
+		peers:        make(map[types.NodeID]struct{}),
+		announceLock: make(map[types.Hash]float64),
+	}
+}
+
+// ID returns the node id.
+func (nd *Node) ID() types.NodeID { return nd.id }
+
+// Config returns the node configuration.
+func (nd *Node) Config() NodeConfig { return nd.cfg }
+
+// Pool exposes the node's mempool (ground-truth inspection in tests; remote
+// interaction should go through the RPC facade).
+func (nd *Node) Pool() *txpool.Pool { return nd.pool }
+
+// Peers returns the node's active neighbors in ascending id order.
+func (nd *Node) Peers() []types.NodeID {
+	out := make([]types.NodeID, 0, len(nd.peers))
+	for id := range nd.peers {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Degree returns the number of active neighbors.
+func (nd *Node) Degree() int { return len(nd.peers) }
+
+// AtCapacity reports whether the node refuses further peers.
+func (nd *Node) AtCapacity() bool { return len(nd.peers) >= nd.cfg.MaxPeers }
+
+func (nd *Node) addPeer(id types.NodeID)    { nd.peers[id] = struct{}{} }
+func (nd *Node) removePeer(id types.NodeID) { delete(nd.peers, id) }
+
+// SubmitLocal submits a transaction as if received over RPC from a local
+// user: it is offered to the pool and, if executable, propagated.
+func (nd *Node) SubmitLocal(tx *types.Transaction) txpool.Result {
+	res := nd.pool.Offer(tx)
+	if out := nd.propagatable(tx, res); len(out) > 0 && !nd.cfg.NoForward {
+		nd.propagate(nd.id, out)
+	}
+	return res
+}
+
+// deliverTxs handles a Transactions message from peer `from`. Transactions
+// arriving in one message propagate onward as one batched message per peer,
+// matching devp2p's batched Transactions frames.
+func (nd *Node) deliverTxs(from types.NodeID, txs []*types.Transaction) {
+	var out []*types.Transaction
+	for _, tx := range txs {
+		rcpt := TxReceipt{From: from, Tx: tx, At: nd.net.Now()}
+		if nd.OnTxDelivered != nil {
+			nd.OnTxDelivered(rcpt)
+		}
+		res := nd.pool.Offer(tx)
+		if nd.net.OnOffer != nil {
+			nd.net.OnOffer(nd.id, from, tx, res.Status.String())
+		}
+		if nd.OnTxAdmitted != nil && res.Status.Admitted() {
+			nd.OnTxAdmitted(rcpt, res)
+		}
+		out = append(out, nd.propagatable(tx, res)...)
+	}
+	if len(out) > 0 && !nd.cfg.NoForward {
+		nd.propagate(from, out)
+	}
+}
+
+// propagatable returns what an admission makes eligible for gossip.
+func (nd *Node) propagatable(tx *types.Transaction, res txpool.Result) []*types.Transaction {
+	var out []*types.Transaction
+	switch res.Status {
+	case txpool.StatusPending:
+		out = append(out, tx)
+	case txpool.StatusReplaced:
+		// A replacement of a pending slot re-propagates (the "speed-up"
+		// application in §1 relies on this).
+		if nd.pool.IsPending(tx.Hash()) {
+			out = append(out, tx)
+		}
+	case txpool.StatusFuture:
+		if nd.cfg.ForwardFutures {
+			out = append(out, tx)
+		}
+	}
+	return append(out, res.Promoted...)
+}
+
+// outItem is one queued gossip transaction with its arrival peer.
+type outItem struct {
+	tx      *types.Transaction
+	exclude types.NodeID
+}
+
+// propagate queues executable transactions for the coalesced gossip flush —
+// the analogue of Geth's broadcast loop, which batches transactions rather
+// than emitting one message per admission.
+func (nd *Node) propagate(exclude types.NodeID, txs []*types.Transaction) {
+	for _, tx := range txs {
+		nd.outQ = append(nd.outQ, outItem{tx: tx, exclude: exclude})
+	}
+	if nd.flushScheduled || len(nd.outQ) == 0 {
+		return
+	}
+	nd.flushScheduled = true
+	interval := nd.net.cfg.FlushInterval
+	nd.net.eng.After(interval, nd.flush)
+}
+
+// flush drains the out-queue: direct push to ⌈√peers⌉ random peers and
+// announcement to the rest (Geth ≥ 1.9.11), or push to all under
+// LegacyPushAll, never sending a transaction back where it came from.
+func (nd *Node) flush() {
+	nd.flushScheduled = false
+	q := nd.outQ
+	nd.outQ = nil
+	if len(q) == 0 {
+		return
+	}
+	peers := nd.Peers()
+	if len(peers) == 0 {
+		return
+	}
+	pushCount := len(peers)
+	if !nd.cfg.LegacyPushAll {
+		pushCount = int(math.Ceil(math.Sqrt(float64(len(peers)))))
+	}
+	perm := nd.net.eng.Perm(len(peers))
+	for i, pi := range perm {
+		peer := peers[pi]
+		var batch []*types.Transaction
+		for _, it := range q {
+			if it.exclude != peer {
+				batch = append(batch, it.tx)
+			}
+		}
+		if len(batch) == 0 {
+			continue
+		}
+		if i < pushCount {
+			nd.sendTxs(peer, batch)
+		} else {
+			nd.sendAnnounce(peer, batch)
+		}
+	}
+}
+
+// sendTxs pushes full transactions to one peer.
+func (nd *Node) sendTxs(to types.NodeID, txs []*types.Transaction) {
+	src := nd.id
+	nd.net.send(src, to, func(dst *Node) { dst.deliverTxs(src, txs) }, "txs")
+}
+
+// sendAnnounce sends a NewPooledTransactionHashes message to one peer.
+func (nd *Node) sendAnnounce(to types.NodeID, txs []*types.Transaction) {
+	src := nd.id
+	hashes := make([]types.Hash, len(txs))
+	for i, tx := range txs {
+		hashes[i] = tx.Hash()
+	}
+	nd.net.send(src, to, func(dst *Node) { dst.deliverAnnounce(src, hashes) }, "announce")
+}
+
+// deliverAnnounce handles an announcement: unknown, unlocked hashes are
+// requested back from the announcer and locked for the AnnounceLock window.
+func (nd *Node) deliverAnnounce(from types.NodeID, hashes []types.Hash) {
+	now := nd.net.Now()
+	var want []types.Hash
+	for _, h := range hashes {
+		if nd.OnHashAnnounced != nil {
+			nd.OnHashAnnounced(from, h, now)
+		}
+		if nd.pool.Has(h) {
+			continue
+		}
+		if until, ok := nd.announceLock[h]; ok && now < until {
+			continue
+		}
+		nd.announceLock[h] = now + nd.net.cfg.AnnounceLock
+		want = append(want, h)
+	}
+	if len(want) == 0 {
+		return
+	}
+	src := nd.id
+	nd.net.send(src, from, func(dst *Node) { dst.deliverRequest(src, want) }, "request")
+}
+
+// deliverRequest answers a GetPooledTransactions request with whatever of
+// the asked hashes is still buffered.
+func (nd *Node) deliverRequest(from types.NodeID, hashes []types.Hash) {
+	var txs []*types.Transaction
+	for _, h := range hashes {
+		if tx := nd.pool.Get(h); tx != nil {
+			txs = append(txs, tx)
+		}
+	}
+	if len(txs) == 0 {
+		return
+	}
+	nd.sendTxs(from, txs)
+}

@@ -1,0 +1,208 @@
+package ethsim
+
+import (
+	"toposhot/internal/txpool"
+	"toposhot/internal/types"
+)
+
+// Supernode is the instrumented measurement node M: it connects to every
+// node, records every transaction delivery with its source peer, never
+// relays anything, and can inject arbitrary transactions — including future
+// transactions, which a stock client would refuse to propagate — to chosen
+// peers. This mirrors the paper's statically instrumented Geth client (§5.1).
+type Supernode struct {
+	node *Node
+	net  *Network
+
+	// sendCursor serializes outgoing injections on the supernode's uplink.
+	sendCursor float64
+
+	byHash    map[types.Hash][]TxReceipt
+	announced map[types.Hash][]TxReceipt
+
+	// shadow is a standard-policy mempool mirroring every delivery. The
+	// supernode's own buffer is unbounded (observation must never drop),
+	// but gas-price estimation (§5.2.1's median) has to reflect what a
+	// *normal* node's pool holds under eviction pressure — that is what the
+	// paper's measurement node M sees in its own mempool.
+	shadow *txpool.Pool
+}
+
+// NewSupernode adds a supernode to the network. Its pool is effectively
+// unbounded so observation never perturbs admission.
+func NewSupernode(net *Network) *Supernode {
+	cfg := NodeConfig{
+		Policy:    txpool.Geth.WithCapacity(1 << 20),
+		MaxPeers:  1 << 20,
+		NoForward: true,
+		Label:     "supernode",
+	}
+	s := &Supernode{
+		net:       net,
+		byHash:    make(map[types.Hash][]TxReceipt),
+		announced: make(map[types.Hash][]TxReceipt),
+		shadow:    txpool.New(txpool.Geth),
+	}
+	s.node = net.AddNode(cfg)
+	s.node.OnTxDelivered = func(r TxReceipt) {
+		h := r.Tx.Hash()
+		s.byHash[h] = append(s.byHash[h], r)
+		s.shadow.Offer(r.Tx)
+	}
+	s.node.OnHashAnnounced = func(from types.NodeID, h types.Hash, at float64) {
+		s.announced[h] = append(s.announced[h], TxReceipt{From: from, At: at})
+	}
+	net.AddJanitorHook(func(now float64) { s.shadow.SetTime(now) })
+	return s
+}
+
+// SetEstimatorPolicy replaces the shadow estimation pool's policy (used by
+// scaled-pool campaigns so the estimator experiences the same eviction
+// pressure as the targets). Existing shadow contents are discarded.
+func (s *Supernode) SetEstimatorPolicy(policy txpool.Policy) {
+	s.shadow = txpool.New(policy)
+}
+
+// PendingPriceView returns the estimation pool's pending gas prices — the
+// basis for the workload-adaptive Y (§5.2.1).
+func (s *Supernode) PendingPriceView() []uint64 {
+	return s.shadow.PendingPrices()
+}
+
+// ID returns the supernode's node id.
+func (s *Supernode) ID() types.NodeID { return s.node.ID() }
+
+// Node returns the underlying node.
+func (s *Supernode) Node() *Node { return s.node }
+
+// ConnectAll links the supernode to every current node except itself and
+// other supernodes already linked.
+func (s *Supernode) ConnectAll() {
+	for _, nd := range s.net.Nodes() {
+		if nd.ID() == s.node.ID() {
+			continue
+		}
+		_ = s.net.Connect(s.node.ID(), nd.ID())
+	}
+}
+
+// Connect links the supernode to one node.
+func (s *Supernode) Connect(id types.NodeID) error {
+	return s.net.Connect(s.node.ID(), id)
+}
+
+// InjectBatchSize is the number of transactions carried per injected
+// Transactions message (devp2p frames batch transactions).
+const InjectBatchSize = 64
+
+// Inject sends transactions directly to one peer, bypassing the supernode's
+// own pool and admission checks. Transactions are packed into messages of
+// InjectBatchSize and consecutive messages are spaced by the configured
+// SendSpacing, so injecting thousands of future transactions takes
+// proportional virtual time — the uplink serialization that makes large
+// parallel groups slower to set up (Figures 4b and 5).
+func (s *Supernode) Inject(to types.NodeID, txs ...*types.Transaction) {
+	spacing := s.net.cfg.SendSpacing
+	src := s.node.ID()
+	for len(txs) > 0 {
+		n := InjectBatchSize
+		if n > len(txs) {
+			n = len(txs)
+		}
+		batch := append([]*types.Transaction(nil), txs[:n]...)
+		txs = txs[n:]
+		at := s.net.Now()
+		if s.sendCursor > at {
+			at = s.sendCursor
+		}
+		at += spacing
+		s.sendCursor = at
+		s.net.eng.At(at, func() {
+			s.net.send(src, to, func(dst *Node) {
+				dst.deliverTxs(src, batch)
+			}, "txs")
+		})
+	}
+}
+
+// DrainTime returns the virtual time at which the injection queue empties.
+func (s *Supernode) DrainTime() float64 {
+	if s.sendCursor > s.net.Now() {
+		return s.sendCursor
+	}
+	return s.net.Now()
+}
+
+// Observations returns the receipts recorded for a transaction hash.
+func (s *Supernode) Observations(h types.Hash) []TxReceipt {
+	return s.byHash[h]
+}
+
+// ObservedFrom reports whether the supernode received the transaction h from
+// the given peer at or after time t — the Step-4 check of the primitive.
+func (s *Supernode) ObservedFrom(peer types.NodeID, h types.Hash, t float64) bool {
+	for _, r := range s.byHash[h] {
+		if r.From == peer && r.At >= t {
+			return true
+		}
+	}
+	return false
+}
+
+// Observed reports whether the supernode has seen h from anyone since t.
+func (s *Supernode) Observed(h types.Hash, t float64) bool {
+	for _, r := range s.byHash[h] {
+		if r.At >= t {
+			return true
+		}
+	}
+	return false
+}
+
+// ObservedOnlyFrom reports whether the supernode received h since t from
+// the given peer and from no one else — counting announcements as evidence
+// of possession too. In a sound TopoShot measurement the proving txA
+// reaches M exclusively through the sink; any other peer delivering or
+// advertising it means isolation broke and the observation must be
+// discarded (the conservative filter that keeps precision at 100%).
+func (s *Supernode) ObservedOnlyFrom(peer types.NodeID, h types.Hash, t float64) bool {
+	seen := false
+	for _, r := range s.byHash[h] {
+		if r.At < t {
+			continue
+		}
+		if r.From != peer {
+			return false
+		}
+		seen = true
+	}
+	for _, r := range s.announced[h] {
+		if r.At >= t && r.From != peer {
+			return false
+		}
+	}
+	return seen
+}
+
+// PossessedBy reports whether peer delivered or announced h at/after t —
+// the loose observation the TxProbe baseline relies on (Bitcoin-style INV
+// watching).
+func (s *Supernode) PossessedBy(peer types.NodeID, h types.Hash, t float64) bool {
+	for _, r := range s.byHash[h] {
+		if r.From == peer && r.At >= t {
+			return true
+		}
+	}
+	for _, r := range s.announced[h] {
+		if r.From == peer && r.At >= t {
+			return true
+		}
+	}
+	return false
+}
+
+// ResetObservations clears recorded receipts (between measurement rounds).
+func (s *Supernode) ResetObservations() {
+	s.byHash = make(map[types.Hash][]TxReceipt)
+	s.announced = make(map[types.Hash][]TxReceipt)
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"toposhot/internal/graph"
+	"toposhot/internal/netgen"
+	"toposhot/internal/profile"
+)
+
+// Table3 runs the client profiler against every preset (Table 3).
+func Table3() []profile.Result {
+	return profile.ProfileAll()
+}
+
+// FormatTable3 renders the client profiles with deployment shares.
+func FormatTable3(rows []profile.Result) string {
+	shares := map[string]string{
+		"geth": "83.24%", "parity": "14.57%", "nethermind": "1.53%",
+		"besu": "0.52%", "aleth": "0%",
+	}
+	var b strings.Builder
+	b.WriteString("Table 3 — client mempool policies recovered by black-box profiling\n")
+	b.WriteString("  client       deploy   R        U       P      L      measurable\n")
+	for _, r := range rows {
+		u := fmt.Sprintf("%d", r.U)
+		if r.U < 0 {
+			u = "∞"
+		}
+		fmt.Fprintf(&b, "  %-12s %-7s %5.1f%%  %6s  %5d  %5d   %v\n",
+			r.Client, shares[r.Client], 100*r.R, u, r.P, r.L, r.Measurable)
+	}
+	return b.String()
+}
+
+// cliqueBudget bounds maximal-clique enumeration in the property tables
+// (dense Rinkeby-like graphs can hold hundreds of thousands).
+const cliqueBudget = 300000
+
+// GraphTable is a Table-4/9/10-style comparison of a measured network
+// against the three random models.
+type GraphTable struct {
+	Name              string
+	Measured          graph.Properties
+	Baselines         netgen.RandomBaselines
+	Score             string
+	MeasuredVsRandoms string
+}
+
+// PropertyTable computes a census's measured-graph properties next to
+// ER/CM/BA baselines matched to it (averaged over `runs` instances).
+func PropertyTable(name string, c *Census, runs int, seed int64) GraphTable {
+	lc := c.Measured.LargestComponent()
+	measured := graph.ComputeProperties(lc, cliqueBudget)
+	baselines := netgen.Baselines(lc, runs, seed, cliqueBudget)
+	t := GraphTable{Name: name, Measured: measured, Baselines: baselines, Score: c.Score.String()}
+	lower := measured.Modularity < baselines.ER.Modularity &&
+		measured.Modularity < baselines.CM.Modularity &&
+		measured.Modularity < baselines.BA.Modularity
+	t.MeasuredVsRandoms = fmt.Sprintf("modularity lower than all random models: %v", lower)
+	return t
+}
+
+// FormatGraphTable renders the comparison in the paper's row order.
+func FormatGraphTable(t GraphTable) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Graph properties — measured %s vs random models (n=%d, m=%d)\n",
+		t.Name, t.Measured.Nodes, t.Measured.Edges)
+	fmt.Fprintf(&b, "  measurement score: %s\n", t.Score)
+	fmt.Fprintf(&b, "  %-24s %10s %10s %10s %10s\n", "property", "measured", "ER", "CM", "BA")
+	row := func(name string, f func(p graph.Properties) float64, format string) {
+		fmt.Fprintf(&b, "  %-24s "+format+" "+format+" "+format+" "+format+"\n",
+			name, f(t.Measured), f(t.Baselines.ER), f(t.Baselines.CM), f(t.Baselines.BA))
+	}
+	row("diameter", func(p graph.Properties) float64 { return float64(p.DistanceStats.Diameter) }, "%10.1f")
+	row("periphery size", func(p graph.Properties) float64 { return float64(p.DistanceStats.PeripherySize) }, "%10.1f")
+	row("radius", func(p graph.Properties) float64 { return float64(p.DistanceStats.Radius) }, "%10.1f")
+	row("center size", func(p graph.Properties) float64 { return float64(p.DistanceStats.CenterSize) }, "%10.1f")
+	row("eccentricity (mean)", func(p graph.Properties) float64 { return p.DistanceStats.MeanEcc }, "%10.3f")
+	row("clustering coefficient", func(p graph.Properties) float64 { return p.Clustering }, "%10.4f")
+	row("transitivity", func(p graph.Properties) float64 { return p.Transitivity }, "%10.4f")
+	row("degree assortativity", func(p graph.Properties) float64 { return p.Assortativity }, "%10.4f")
+	row("maximal cliques", func(p graph.Properties) float64 { return float64(p.MaximalCliques) }, "%10.0f")
+	row("modularity", func(p graph.Properties) float64 { return p.Modularity }, "%10.4f")
+	fmt.Fprintf(&b, "  %s\n", t.MeasuredVsRandoms)
+	return b.String()
+}
+
+// CommunityTable runs Louvain on a census's measured graph (Table 5 for
+// Ropsten; the Rinkeby/Goerli community paragraphs of Appendix D).
+func CommunityTable(c *Census) []graph.CommunityReport {
+	lc := c.Measured.LargestComponent()
+	part := graph.Louvain(lc, 1)
+	return graph.CommunityTable(lc, part)
+}
+
+// FormatCommunityTable renders the per-community rows.
+func FormatCommunityTable(name string, rows []graph.CommunityReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Detected communities in %s (Louvain)\n", name)
+	b.WriteString("  idx  nodes  intra-edges (density)  inter-edges  avg-degree  deg-1 nodes\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %3d  %5d  %7d (%5.1f%%)        %7d      %6.1f       %3d\n",
+			r.Index+1, r.Size, r.IntraEdges, 100*r.Density, r.InterEdges, r.AvgDegree, r.DegreeOne)
+	}
+	return b.String()
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"testing"
+
+	"toposhot/internal/core"
+	"toposhot/internal/ethsim"
+	"toposhot/internal/netgen"
+	"toposhot/internal/txpool"
+	"toposhot/internal/types"
+)
+
+type offerEv struct {
+	node, from types.NodeID
+	status     string
+	at         float64
+	tx         *types.Transaction
+}
+
+func TestTraceFalsePositive(t *testing.T) {
+	cfg := RopstenCensus(42)
+	cfg.Grow.N = 200
+	cfg.Het = netgen.Uniform()
+	cfg.GroupK = 20
+	cfg.Prefill = 300
+
+	g := netgen.Grow(cfg.Grow)
+	netCfg := ethsim.DefaultConfig(cfg.Seed)
+	netCfg.LatencyTail = 0.05
+	netCfg.LatencyMax = 1.0
+	net := ethsim.NewNetwork(netCfg)
+	het := cfg.Het
+	het.Expiry = censusExpiry
+	inst := netgen.InstantiateScaled(net, g, het, cfg.Seed, cfg.PoolScale)
+	super := ethsim.NewSupernode(net)
+	super.ConnectAll()
+	super.SetEstimatorPolicy(txpool.Geth.WithCapacity(512).WithExpiry(censusExpiry))
+	net.StartJanitor(30)
+	trace := make(map[types.Hash][]offerEv)
+	net.OnOffer = func(node, from types.NodeID, tx *types.Transaction, status string) {
+		h := tx.Hash()
+		if len(trace[h]) < 3000 {
+			trace[h] = append(trace[h], offerEv{node, from, status, net.Now(), tx})
+		}
+	}
+	w := ethsim.NewWorkload(net, 0.2, types.Gwei/10, 2*types.Gwei)
+	w.Prefill(300, 5)
+	w.Start(0)
+	params := core.DefaultParams()
+	params.Z = 512
+	m := core.NewMeasurer(net, super, params)
+	res, err := m.MeasureNetwork(inst.IDs, cfg.GroupK, cfg.EdgeBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := core.EdgeSetOf(net.Edges())
+	shown := 0
+	for _, e := range res.Detected.Edges() {
+		if truth.Has(e[0], e[1]) || shown >= 3 {
+			continue
+		}
+		shown++
+		h := res.DetectedVia[e]
+		t.Logf("FP edge %v-%v via txA %v; admissions in trail (len %d):", e[0], e[1], h, len(trace[h]))
+		for _, ev := range trace[h] {
+			if ev.status == "underpriced" || ev.status == "known" {
+				continue
+			}
+			t.Logf("  t=%9.2f node=%v from=%v status=%s", ev.at, ev.node, ev.from, ev.status)
+		}
+		acct := trace[h][0].tx.From
+		// Watch the nodes that admitted txA (the leak path).
+		watch := map[types.NodeID]bool{}
+		for _, ev := range trace[h] {
+			if ev.status != "underpriced" && ev.status != "known" {
+				watch[ev.node] = true
+			}
+		}
+		for ch, evs := range trace {
+			if len(evs) == 0 || evs[0].tx.From != acct || ch == h {
+				continue
+			}
+			t.Logf("sibling %v price=%d trail on leak nodes:", ch, evs[0].tx.GasPrice)
+			for _, ev := range evs {
+				if watch[ev.node] {
+					t.Logf("  t=%9.2f node=%v from=%v status=%s", ev.at, ev.node, ev.from, ev.status)
+				}
+			}
+		}
+	}
+	superID := super.ID()
+	sc := core.ScoreAgainst(res.Detected, truth, func(id types.NodeID) bool { return id != superID })
+	t.Logf("score %v", sc)
+	// Regression guard for the drain-rate fix: isolation must hold at this
+	// scale and schedule (K=20, n=200).
+	if sc.Precision() < 0.99 {
+		t.Errorf("precision regressed: %v", sc)
+	}
+	if sc.Recall() < 0.95 {
+		t.Errorf("recall regressed: %v", sc)
+	}
+}

@@ -1,0 +1,476 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"toposhot/internal/core"
+	"toposhot/internal/ethsim"
+	"toposhot/internal/netgen"
+	"toposhot/internal/txpool"
+	"toposhot/internal/types"
+)
+
+// validationNet builds the §6.1 validation environment: a Ropsten-like
+// network with heterogeneous nodes, a freshly-joined observation node B′
+// peered with many nodes, and a measurer with scaled pools.
+type validationNet struct {
+	net    *ethsim.Network
+	super  *ethsim.Supernode
+	m      *core.Measurer
+	bPrime *ethsim.Node
+	// neighbors are B′'s true peers (the measurable population).
+	neighbors []types.NodeID
+	inst      *netgen.Instantiated
+}
+
+// scaledZ is the default future count for 1/10-scale pools.
+const scaledZ = 512
+
+func buildValidationNet(seed int64, n int, het netgen.Heterogeneity, bPrimePeers int) *validationNet {
+	netCfg := ethsim.DefaultConfig(seed)
+	netCfg.LatencyTail = 0.05
+	netCfg.LatencyMax = 1.0
+	return buildValidationNetCfg(netCfg, seed, n, het, bPrimePeers)
+}
+
+// buildValidationNetCfg is buildValidationNet with an explicit network
+// latency profile.
+func buildValidationNetCfg(netCfg ethsim.Config, seed int64, n int, het netgen.Heterogeneity, bPrimePeers int) *validationNet {
+	g := netgen.Grow(netgen.RopstenConfig.WithSeed(seed).WithN(n))
+	net := ethsim.NewNetwork(netCfg)
+	het.Expiry = censusExpiry
+	inst := netgen.InstantiateScaled(net, g, het, seed, 0.1)
+
+	// B′: a local node under our control, joined to bPrimePeers peers.
+	bp := net.AddNode(ethsim.NodeConfig{
+		Policy:   txpool.Geth.WithCapacity(scaledZ).WithExpiry(censusExpiry),
+		MaxPeers: 1 << 16,
+	})
+	rng := net.Engine().Rand()
+	for bp.Degree() < bPrimePeers && bp.Degree() < len(inst.IDs) {
+		id := inst.IDs[rng.Intn(len(inst.IDs))]
+		if id != bp.ID() {
+			_ = net.Connect(bp.ID(), id)
+		}
+	}
+
+	super := ethsim.NewSupernode(net)
+	super.ConnectAll()
+	super.SetEstimatorPolicy(txpool.Geth.WithCapacity(scaledZ).WithExpiry(censusExpiry))
+	net.StartJanitor(30)
+
+	// Prefill stays below pool capacity so the estimated Y is genuinely
+	// mid-market ("low enough not to be included next block", §5.2.1).
+	w := ethsim.NewWorkload(net, 0.2, types.Gwei/10, 2*types.Gwei)
+	w.Prefill(350, 5)
+	w.Start(0)
+
+	params := core.DefaultParams()
+	params.Z = scaledZ
+	m := core.NewMeasurer(net, super, params)
+	return &validationNet{
+		net: net, super: super, m: m, bPrime: bp,
+		neighbors: bp.Peers(), inst: inst,
+	}
+}
+
+// measurableNeighbors filters B′'s peers to spec-conforming Geth nodes, the
+// way the paper restricts its validation to the 471 Geth peers.
+func (v *validationNet) measurableNeighbors() []types.NodeID {
+	pre := v.m.Preprocess(v.neighbors)
+	var out []types.NodeID
+	for _, id := range pre.EligibleNodes(v.neighbors) {
+		if id == v.super.ID() {
+			continue
+		}
+		out = append(out, id)
+	}
+	return out
+}
+
+// buildValidationNet4b is buildValidationNet plus mining on an underloaded
+// testnet: the miner outpaces the background workload, so it digs down the
+// price ladder and includes planted measurement transactions after roughly
+// a minute. A parallel iteration whose duration exceeds that inclusion lag
+// loses its late sources — their accounts' nonces are consumed on-chain and
+// the txA plants go stale. That is the interference that caps Figure 4b's
+// recall for large groups, while precision is untouched.
+func buildValidationNet4b(seed int64, n, bPrimePeers int) *validationNet {
+	netCfg := ethsim.DefaultConfig(seed)
+	// Public-internet profile: heavier straggler tail plus congestion
+	// spikes. Straggling deliveries from one node's setup landing inside a
+	// later node's setup hole are the §6.1 "interference among nodes {A}".
+	netCfg.LatencyTail = 0.15
+	netCfg.LatencyMax = 3.0
+	netCfg.SpikeProb = 0.30
+	netCfg.SpikeMax = 5.0
+	return buildValidationNetCfg(netCfg, seed, n, netgen.Uniform(), bPrimePeers)
+}
+
+// Fig4aRow is one point of the recall-vs-futures curve.
+type Fig4aRow struct {
+	Z      int
+	Recall float64
+	Tested int
+}
+
+// Fig4a reproduces Figure 4a: measure the links between B′ and each of its
+// true neighbors with the serial primitive while sweeping the number of
+// future transactions Z. Recall rises with Z as nodes with enlarged
+// mempools come into range, and plateaus below 100% because of
+// non-forwarding nodes (the paper's 84%→97% shape, at 1/10 scale).
+func Fig4a(seed int64) []Fig4aRow {
+	het := netgen.Heterogeneity{
+		CustomPoolFraction:  0.14,
+		CustomPoolFactorMin: 1.1,
+		CustomPoolFactorMax: 1.85,
+		NoForwardFraction:   0.03,
+	}
+	v := buildValidationNet(seed, 150, het, 60)
+	targets := v.measurableNeighbors()
+	var rows []Fig4aRow
+	for _, z := range []int{512, 576, 640, 704, 768, 832, 896, 960} {
+		p := v.m.Params()
+		p.Z = z
+		v.m.SetParams(p)
+		detected := 0
+		for _, a := range targets {
+			// Two attempts unioned (§5.2.3's passive heuristic), spaced past
+			// the mempool drain so the second run sees fresh pool state.
+			ok, err := v.m.MeasureOneLink(a, v.bPrime.ID())
+			if err == nil && !ok {
+				v.net.RunFor(censusExpiry + 10)
+				ok, err = v.m.MeasureOneLink(a, v.bPrime.ID())
+			}
+			if err == nil && ok {
+				detected++
+			}
+		}
+		rows = append(rows, Fig4aRow{Z: z, Recall: float64(detected) / float64(len(targets)), Tested: len(targets)})
+	}
+	return rows
+}
+
+// FormatFig4a renders the curve.
+func FormatFig4a(rows []Fig4aRow) string {
+	var b strings.Builder
+	b.WriteString("Figure 4a — recall vs number of future transactions (serial primitive)\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  Z=%4d  recall=%5.1f%%  (%d links tested)\n", r.Z, 100*r.Recall, r.Tested)
+	}
+	return b.String()
+}
+
+// Fig4bRow is one point of the parallel group-size sweep.
+type Fig4bRow struct {
+	GroupSize int
+	Precision float64
+	Recall    float64
+}
+
+// Fig4b reproduces Figure 4b: parallel measurement with q=1 (sink B′) and a
+// growing source group p. Small groups behave like the serial primitive;
+// large groups interleave per-node setups inside a fixed pacing budget, so
+// straggler deliveries interfere and recall decays while precision stays at
+// 100% (the paper: 100% through ~29, ~60% at 99).
+func Fig4b(seed int64) []Fig4bRow {
+	v := buildValidationNet4b(seed, 170, 40)
+	targets := v.measurableNeighbors()
+	truth := core.EdgeSetOf(v.net.Edges())
+
+	// Fixed pacing budget: the measurement node paces one whole iteration
+	// inside a near-constant window, so per-node slack shrinks as the
+	// group grows; once it drops under the straggler spread, setups of
+	// consecutive nodes interleave.
+	const pacingWindow = 38.0
+
+	var rows []Fig4bRow
+	for _, p := range []int{1, 5, 10, 20, 29, 40, 60, 80, 99} {
+		sources := make([]types.NodeID, 0, p)
+		// True neighbors first (recall targets), then fillers.
+		for _, id := range targets {
+			if len(sources) < p {
+				sources = append(sources, id)
+			}
+		}
+		for _, id := range v.inst.IDs {
+			if len(sources) >= p {
+				break
+			}
+			if id == v.bPrime.ID() || truth.Has(id, v.bPrime.ID()) {
+				continue
+			}
+			seen := false
+			for _, s := range sources {
+				if s == id {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				sources = append(sources, id)
+			}
+		}
+		params := v.m.Params()
+		params.InterNodeWait = pacingWindow / float64(len(sources)+1)
+		v.m.SetParams(params)
+
+		edges := make([]core.Edge, 0, len(sources))
+		for _, s := range sources {
+			edges = append(edges, core.Edge{Source: s, Sink: v.bPrime.ID()})
+		}
+		best := core.NewEdgeSet()
+		for rep := 0; rep < 3; rep++ {
+			res, err := v.m.MeasurePar(edges)
+			if err != nil {
+				continue
+			}
+			best.Union(res.Detected)
+			// Let the previous run's future transactions drain before the
+			// next, as the live tool's spaced repetitions do.
+			v.net.RunFor(censusExpiry + 10)
+		}
+		measuredTruth := core.NewEdgeSet()
+		for _, e := range edges {
+			if truth.Has(e.Source, e.Sink) {
+				measuredTruth.Add(e.Source, e.Sink)
+			}
+		}
+		sc := core.ScoreAgainst(best, measuredTruth, nil)
+		rows = append(rows, Fig4bRow{GroupSize: len(sources), Precision: sc.Precision(), Recall: sc.Recall()})
+	}
+	return rows
+}
+
+// FormatFig4b renders the sweep.
+func FormatFig4b(rows []Fig4bRow) string {
+	var b strings.Builder
+	b.WriteString("Figure 4b — precision/recall vs parallel group size (q=1)\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  p=%3d  precision=%5.1f%%  recall=%5.1f%%\n",
+			r.GroupSize, 100*r.Precision, 100*r.Recall)
+	}
+	return b.String()
+}
+
+// Fig5Row is one point of the speedup curve.
+type Fig5Row struct {
+	GroupSize     int
+	VirtualHours  float64
+	Speedup       float64
+	EdgesDetected int
+}
+
+// Fig5 reproduces Figure 5: virtual time to measure all pairs of a
+// 100-node group under the parallel schedule with growing K, against the
+// serial all-pairs baseline (K=1). The paper reports about an order of
+// magnitude at K=30.
+func Fig5(seed int64) []Fig5Row {
+	const groupN = 100
+	var rows []Fig5Row
+	var serialHours float64
+	for _, k := range []int{1, 5, 10, 20, 30, 45, 60} {
+		v := buildValidationNet(seed+int64(k), groupN+40, netgen.Uniform(), 10)
+		nodes := v.inst.IDs[:groupN]
+		var hours float64
+		var detected int
+		if k == 1 {
+			res, err := v.m.MeasureAllPairsSerial(nodes)
+			if err != nil {
+				continue
+			}
+			hours = res.Duration / 3600
+			detected = res.Detected.Len()
+		} else {
+			res, err := v.m.MeasureNetwork(nodes, k, 200)
+			if err != nil {
+				continue
+			}
+			hours = res.Duration / 3600
+			detected = res.Detected.Len()
+		}
+		if k == 1 {
+			serialHours = hours
+		}
+		speedup := 1.0
+		if hours > 0 && serialHours > 0 {
+			speedup = serialHours / hours
+		}
+		rows = append(rows, Fig5Row{GroupSize: k, VirtualHours: hours, Speedup: speedup, EdgesDetected: detected})
+	}
+	return rows
+}
+
+// FormatFig5 renders the speedup curve.
+func FormatFig5(rows []Fig5Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 5 — parallel measurement speedup over serial (100-node group)\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  K=%-3d  time=%6.2f vh  speedup=%5.1f×  edges=%d\n",
+			r.GroupSize, r.VirtualHours, r.Speedup, r.EdgesDetected)
+	}
+	return b.String()
+}
+
+// Fig7Row is one cell of the local mempool-size sweep.
+type Fig7Row struct {
+	MempoolSize int
+	Pending     int
+	Recall      float64
+}
+
+// Fig7 reproduces Appendix B's local validation (Figure 7): three local
+// nodes M, A, B; A's mempool size sweeps 3120..9120 while the network is
+// pre-populated with a varying number of pending transactions. Recall is
+// 100% exactly when mempoolSize − pending ≤ Z (the futures can still evict
+// txC) and 0% otherwise. Full-scale pools — only three nodes.
+func Fig7(seed int64) []Fig7Row {
+	var rows []Fig7Row
+	for _, L := range []int{3120, 5120, 7120, 9120} {
+		for _, pending := range []int{1, 1000, 2000, 3000} {
+			detected := 0
+			const reps = 3
+			for rep := 0; rep < reps; rep++ {
+				if fig7Once(seed+int64(1000*L+pending+rep), L, pending) {
+					detected++
+				}
+			}
+			rows = append(rows, Fig7Row{MempoolSize: L, Pending: pending, Recall: float64(detected) / reps})
+		}
+	}
+	return rows
+}
+
+// fig7Once runs one local trial: were A(B) measurable at this pool size?
+func fig7Once(seed int64, capacity, pending int) bool {
+	netCfg := ethsim.DefaultConfig(seed)
+	netCfg.LatencyTail = 0.02
+	netCfg.LatencyMax = 0.5
+	net := ethsim.NewNetwork(netCfg)
+	polA := txpool.Geth.WithCapacity(capacity)
+	polB := txpool.Geth
+	a := net.AddNode(ethsim.NodeConfig{Policy: polA, MaxPeers: 16})
+	b := net.AddNode(ethsim.NodeConfig{Policy: polB, MaxPeers: 16})
+	_ = net.Connect(a.ID(), b.ID())
+	super := ethsim.NewSupernode(net)
+	super.ConnectAll()
+
+	// The paper's txO population outprices txC, so once the futures fill
+	// the pool the very first eviction removes txC.
+	w := ethsim.NewWorkload(net, 0, types.Gwei, 2*types.Gwei)
+	w.Prefill(pending, 3)
+
+	params := core.DefaultParams() // full-scale Z = 5120
+	params.SettleTime = 4
+	params.Y = types.Gwei / 2 // below every txO
+	m := core.NewMeasurer(net, super, params)
+	ok, err := m.MeasureOneLink(a.ID(), b.ID())
+	return err == nil && ok
+}
+
+// FormatFig7 renders the sweep.
+func FormatFig7(rows []Fig7Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 7 — local validation: recall vs A's mempool size (Z=5120)\n")
+	for _, r := range rows {
+		cond := "no"
+		if r.MempoolSize-r.Pending <= 5120 {
+			cond = "yes"
+		}
+		fmt.Fprintf(&b, "  L=%5d pending=%4d  recall=%5.1f%%  (L−pending ≤ 5120: %s)\n",
+			r.MempoolSize, r.Pending, 100*r.Recall, cond)
+	}
+	return b.String()
+}
+
+// Table8Row is one local parallel-validation configuration.
+type Table8Row struct {
+	Links     string
+	Recall    float64
+	Precision float64
+}
+
+// Table8 reproduces Appendix B.1.1: a fully local M, A1, A2, B with all six
+// distinct link configurations; each measured repeatedly with the parallel
+// primitive and scored against ground truth.
+func Table8(seed int64, reps int) []Table8Row {
+	type cfg struct {
+		name  string
+		links [][2]int // index 0=A1, 1=A2, 2=B
+	}
+	cfgs := []cfg{
+		{"A1-A2, A1-B, A2-B", [][2]int{{0, 1}, {0, 2}, {1, 2}}},
+		{"A1-A2, A1-B", [][2]int{{0, 1}, {0, 2}}},
+		{"A1-A2", [][2]int{{0, 1}}},
+		{"A1-B, A2-B", [][2]int{{0, 2}, {1, 2}}},
+		{"A1-B", [][2]int{{0, 2}}},
+		{"null", nil},
+	}
+	var rows []Table8Row
+	for ci, c := range cfgs {
+		var tp, fp, fn int
+		for rep := 0; rep < reps; rep++ {
+			netCfg := ethsim.DefaultConfig(seed + int64(100*ci+rep))
+			netCfg.LatencyTail = 0.02
+			netCfg.LatencyMax = 0.5
+			net := ethsim.NewNetwork(netCfg)
+			pol := txpool.Geth.WithCapacity(scaledZ)
+			var ids []types.NodeID
+			for i := 0; i < 3; i++ {
+				ids = append(ids, net.AddNode(ethsim.NodeConfig{Policy: pol, MaxPeers: 16}).ID())
+			}
+			for _, l := range c.links {
+				_ = net.Connect(ids[l[0]], ids[l[1]])
+			}
+			super := ethsim.NewSupernode(net)
+			super.ConnectAll()
+			w := ethsim.NewWorkload(net, 0, types.Gwei/10, 2*types.Gwei)
+			w.Prefill(120, 3)
+			params := core.DefaultParams()
+			params.Z = scaledZ
+			params.SettleTime = 4
+			m := core.NewMeasurer(net, super, params)
+			// Parallel: sources A1, A2; sink B.
+			res, err := m.MeasurePar([]core.Edge{
+				{Source: ids[0], Sink: ids[2]},
+				{Source: ids[1], Sink: ids[2]},
+			})
+			if err != nil {
+				continue
+			}
+			truth := core.EdgeSetOf(net.Edges())
+			for _, e := range [][2]types.NodeID{{ids[0], ids[2]}, {ids[1], ids[2]}} {
+				want := truth.Has(e[0], e[1])
+				got := res.Detected.Has(e[0], e[1])
+				switch {
+				case want && got:
+					tp++
+				case !want && got:
+					fp++
+				case want && !got:
+					fn++
+				}
+			}
+		}
+		row := Table8Row{Links: c.name, Recall: 1, Precision: 1}
+		if tp+fn > 0 {
+			row.Recall = float64(tp) / float64(tp+fn)
+		}
+		if tp+fp > 0 {
+			row.Precision = float64(tp) / float64(tp+fp)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FormatTable8 renders the local parallel validation.
+func FormatTable8(rows []Table8Row) string {
+	var b strings.Builder
+	b.WriteString("Table 8 — local parallel validation (M, A1, A2, B)\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-22s recall=%5.1f%%  precision=%5.1f%%\n", r.Links, 100*r.Recall, 100*r.Precision)
+	}
+	return b.String()
+}

@@ -1,0 +1,177 @@
+// Package netgen generates network topologies: the three classic random
+// baselines of Table 4 (Erdős–Rényi, Configuration Model, Barabási–Albert)
+// and an Ethereum-protocol-style grower whose output plays the role of the
+// live testnets the paper measures.
+package netgen
+
+import (
+	"math/rand"
+
+	"toposhot/internal/graph"
+)
+
+// ErdosRenyiNM samples a uniform simple graph with n vertices and exactly m
+// edges — the G(n,m) variant, matching the paper's "same number of vertices
+// and edges" baseline construction.
+func ErdosRenyiNM(n, m int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New()
+	for v := 0; v < n; v++ {
+		g.AddNode(v)
+	}
+	maxM := n * (n - 1) / 2
+	if m > maxM {
+		m = maxM
+	}
+	for g.NumEdges() < m {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// Configuration samples a configuration-model graph with (approximately)
+// the given degree sequence by uniform stub matching. Self-loops and
+// multi-edges produced by the matching are discarded, as NetworkX does when
+// converting to a simple graph, so realized degrees can fall slightly short.
+func Configuration(degrees []int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New()
+	var stubs []int
+	for v, d := range degrees {
+		g.AddNode(v)
+		for i := 0; i < d; i++ {
+			stubs = append(stubs, v)
+		}
+	}
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	for i := 0; i+1 < len(stubs); i += 2 {
+		g.AddEdge(stubs[i], stubs[i+1])
+	}
+	return g
+}
+
+// BarabasiAlbert grows a preferential-attachment graph of n vertices where
+// each arriving vertex attaches k edges to existing vertices with
+// probability proportional to degree. The resulting average degree
+// approaches 2k; the paper's "same average node degree l′" baseline uses
+// k = l′/2.
+func BarabasiAlbert(n, k int, seed int64) *graph.Graph {
+	if k < 1 {
+		k = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New()
+	// Repeated-endpoint list: vertices appear once per incident edge, which
+	// makes degree-proportional sampling O(1).
+	var ends []int
+	// Seed clique of k+1 vertices.
+	seedN := k + 1
+	if seedN > n {
+		seedN = n
+	}
+	for v := 0; v < seedN; v++ {
+		g.AddNode(v)
+		for u := 0; u < v; u++ {
+			g.AddEdge(u, v)
+			ends = append(ends, u, v)
+		}
+	}
+	for v := seedN; v < n; v++ {
+		g.AddNode(v)
+		chosen := make(map[int]bool, k)
+		for len(chosen) < k && len(chosen) < v {
+			var u int
+			if len(ends) == 0 {
+				u = rng.Intn(v)
+			} else {
+				u = ends[rng.Intn(len(ends))]
+			}
+			if u != v {
+				chosen[u] = true
+			}
+		}
+		for u := range chosen {
+			g.AddEdge(u, v)
+			ends = append(ends, u, v)
+		}
+	}
+	return g
+}
+
+// DegreeSequence extracts g's degree sequence indexed by sorted vertex order
+// (input for Configuration).
+func DegreeSequence(g *graph.Graph) []int {
+	nodes := g.Nodes()
+	out := make([]int, len(nodes))
+	for i, v := range nodes {
+		out[i] = g.Degree(v)
+	}
+	return out
+}
+
+// RandomBaselines holds averaged Table-4 properties of the three random
+// models matched to a measured graph.
+type RandomBaselines struct {
+	ER, CM, BA graph.Properties
+}
+
+// Baselines generates `runs` instances of each random model matched to g
+// (ER: same n and m; CM: same degree sequence; BA: same n and average
+// degree) and returns their averaged properties. cliqueBudget bounds
+// maximal-clique counting per instance.
+func Baselines(g *graph.Graph, runs int, seed int64, cliqueBudget int) RandomBaselines {
+	n, m := g.NumNodes(), g.NumEdges()
+	degs := DegreeSequence(g)
+	k := int(g.AverageDegree()/2 + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	var acc [3][]graph.Properties
+	for r := 0; r < runs; r++ {
+		s := seed + int64(r)*7919
+		acc[0] = append(acc[0], graph.ComputeProperties(ErdosRenyiNM(n, m, s), cliqueBudget))
+		acc[1] = append(acc[1], graph.ComputeProperties(Configuration(degs, s), cliqueBudget))
+		acc[2] = append(acc[2], graph.ComputeProperties(BarabasiAlbert(n, k, s), cliqueBudget))
+	}
+	return RandomBaselines{
+		ER: averageProps(acc[0]),
+		CM: averageProps(acc[1]),
+		BA: averageProps(acc[2]),
+	}
+}
+
+func averageProps(ps []graph.Properties) graph.Properties {
+	if len(ps) == 0 {
+		return graph.Properties{}
+	}
+	var out graph.Properties
+	n := float64(len(ps))
+	for _, p := range ps {
+		out.Nodes += p.Nodes
+		out.Edges += p.Edges
+		out.AvgDegree += p.AvgDegree / n
+		out.DistanceStats.Diameter += p.DistanceStats.Diameter
+		out.DistanceStats.Radius += p.DistanceStats.Radius
+		out.DistanceStats.CenterSize += p.DistanceStats.CenterSize
+		out.DistanceStats.PeripherySize += p.DistanceStats.PeripherySize
+		out.DistanceStats.MeanEcc += p.DistanceStats.MeanEcc / n
+		out.Clustering += p.Clustering / n
+		out.Transitivity += p.Transitivity / n
+		out.Assortativity += p.Assortativity / n
+		out.MaximalCliques += p.MaximalCliques
+		out.Modularity += p.Modularity / n
+		out.Communities += p.Communities
+	}
+	out.Nodes /= len(ps)
+	out.Edges /= len(ps)
+	out.DistanceStats.Diameter /= len(ps)
+	out.DistanceStats.Radius /= len(ps)
+	out.DistanceStats.CenterSize /= len(ps)
+	out.DistanceStats.PeripherySize /= len(ps)
+	out.MaximalCliques /= len(ps)
+	out.Communities /= len(ps)
+	return out
+}

@@ -1,0 +1,390 @@
+// Package node implements a runnable Ethereum-lite peer over real TCP: a
+// txpool-backed gossip node speaking the internal/wire protocol. It exists
+// so TopoShot can be exercised end-to-end over genuine sockets — the
+// substitution for "live testnet nodes and peering" — and is used by the
+// live integration tests, the live-tcp example and cmd/toposhotd.
+package node
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"toposhot/internal/txpool"
+	"toposhot/internal/types"
+	"toposhot/internal/wire"
+)
+
+// Config parameterizes a live node.
+type Config struct {
+	// ClientVersion is sent in the handshake (web3_clientVersion analogue).
+	ClientVersion string
+	// NetworkID must match between peers.
+	NetworkID uint64
+	// Policy is the mempool policy.
+	Policy txpool.Policy
+	// MaxPeers bounds accepted connections (0 = 50).
+	MaxPeers int
+	// AnnounceLock is the announcement-response window (0 = 5 s).
+	AnnounceLock time.Duration
+	// PushAll disables announcements (legacy push-to-all propagation).
+	PushAll bool
+	// NoForward makes the node buffer without relaying (instrumented
+	// measurement client behaviour).
+	NoForward bool
+	// Seed drives peer sampling for push/announce splits.
+	Seed int64
+}
+
+// Node is a live TCP peer.
+type Node struct {
+	cfg Config
+	ln  net.Listener
+
+	mu           sync.Mutex
+	pool         *txpool.Pool
+	peers        map[string]*peer // keyed by remote address
+	announceLock map[types.Hash]time.Time
+	rng          *rand.Rand
+	closed       bool
+
+	wg sync.WaitGroup
+
+	// OnTx, when set, fires for every transaction received from a peer
+	// (admitted or not), with the peer's remote address.
+	OnTx func(fromAddr string, fromVersion string, tx *types.Transaction)
+}
+
+type peer struct {
+	conn    net.Conn
+	addr    string
+	version string
+
+	writeMu sync.Mutex
+}
+
+func (p *peer) send(m wire.Msg) error {
+	p.writeMu.Lock()
+	defer p.writeMu.Unlock()
+	return wire.WriteMsg(p.conn, m)
+}
+
+// Start launches a node listening on addr (use "127.0.0.1:0" for an
+// ephemeral port).
+func Start(cfg Config, addr string) (*Node, error) {
+	if cfg.MaxPeers == 0 {
+		cfg.MaxPeers = 50
+	}
+	if cfg.AnnounceLock == 0 {
+		cfg.AnnounceLock = 5 * time.Second
+	}
+	if cfg.Policy.Capacity == 0 {
+		cfg.Policy = txpool.Geth
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		cfg:          cfg,
+		ln:           ln,
+		pool:         txpool.New(cfg.Policy),
+		peers:        make(map[string]*peer),
+		announceLock: make(map[types.Hash]time.Time),
+		rng:          rand.New(rand.NewSource(cfg.Seed ^ time.Now().UnixNano())),
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr returns the node's listen address.
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// Close stops the node and disconnects all peers.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	peers := make([]*peer, 0, len(n.peers))
+	for _, p := range n.peers {
+		peers = append(peers, p)
+	}
+	n.mu.Unlock()
+	err := n.ln.Close()
+	for _, p := range peers {
+		_ = p.conn.Close()
+	}
+	n.wg.Wait()
+	return err
+}
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			if err := n.setupPeer(conn, false); err != nil {
+				_ = conn.Close()
+			}
+		}()
+	}
+}
+
+// Dial connects to a remote node and registers it as a peer.
+func (n *Node) Dial(addr string) error {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	if err := n.setupPeer(conn, true); err != nil {
+		_ = conn.Close()
+		return err
+	}
+	return nil
+}
+
+// setupPeer performs the Status handshake and launches the read loop.
+func (n *Node) setupPeer(conn net.Conn, initiator bool) error {
+	status := wire.Msg{Code: wire.CodeStatus, Status: wire.Status{
+		ProtocolVersion: wire.ProtocolVersion,
+		NetworkID:       n.cfg.NetworkID,
+		ClientVersion:   n.cfg.ClientVersion,
+	}}
+	// Both sides send Status first, then read the remote's.
+	if err := wire.WriteMsg(conn, status); err != nil {
+		return err
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	remote, err := wire.ReadMsg(conn)
+	if err != nil {
+		return err
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	if remote.Code != wire.CodeStatus {
+		return fmt.Errorf("node: expected status, got code %d", remote.Code)
+	}
+	if remote.Status.NetworkID != n.cfg.NetworkID {
+		return fmt.Errorf("node: network id mismatch: %d != %d",
+			remote.Status.NetworkID, n.cfg.NetworkID)
+	}
+	p := &peer{conn: conn, addr: conn.RemoteAddr().String(), version: remote.Status.ClientVersion}
+
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return errors.New("node: closed")
+	}
+	if len(n.peers) >= n.cfg.MaxPeers {
+		n.mu.Unlock()
+		return errors.New("node: too many peers")
+	}
+	n.peers[p.addr] = p
+	n.mu.Unlock()
+
+	n.wg.Add(1)
+	go n.readLoop(p)
+	return nil
+}
+
+func (n *Node) dropPeer(p *peer) {
+	n.mu.Lock()
+	delete(n.peers, p.addr)
+	n.mu.Unlock()
+	_ = p.conn.Close()
+}
+
+func (n *Node) readLoop(p *peer) {
+	defer n.wg.Done()
+	defer n.dropPeer(p)
+	for {
+		m, err := wire.ReadMsg(p.conn)
+		if err != nil {
+			return
+		}
+		switch m.Code {
+		case wire.CodeTransactions, wire.CodePooledTransactions:
+			n.handleTxs(p, m.Txs)
+		case wire.CodeNewPooledTransactionHashes:
+			n.handleAnnounce(p, m.Hashes)
+		case wire.CodeGetPooledTransactions:
+			n.handleRequest(p, m.Hashes)
+		case wire.CodeDisconnect:
+			return
+		}
+	}
+}
+
+func (n *Node) handleTxs(p *peer, txs []*types.Transaction) {
+	var out []*types.Transaction
+	n.mu.Lock()
+	for _, tx := range txs {
+		res := n.pool.Offer(tx)
+		switch res.Status {
+		case txpool.StatusPending:
+			out = append(out, tx)
+		case txpool.StatusReplaced:
+			if n.pool.IsPending(tx.Hash()) {
+				out = append(out, tx)
+			}
+		}
+		out = append(out, res.Promoted...)
+	}
+	onTx := n.OnTx
+	n.mu.Unlock()
+	if onTx != nil {
+		for _, tx := range txs {
+			onTx(p.addr, p.version, tx)
+		}
+	}
+	if len(out) > 0 && !n.cfg.NoForward {
+		n.propagate(p.addr, out)
+	}
+}
+
+func (n *Node) handleAnnounce(p *peer, hashes []types.Hash) {
+	now := time.Now()
+	var want []types.Hash
+	n.mu.Lock()
+	for _, h := range hashes {
+		if n.pool.Has(h) {
+			continue
+		}
+		if until, ok := n.announceLock[h]; ok && now.Before(until) {
+			continue
+		}
+		n.announceLock[h] = now.Add(n.cfg.AnnounceLock)
+		want = append(want, h)
+	}
+	n.mu.Unlock()
+	if len(want) > 0 {
+		_ = p.send(wire.Msg{Code: wire.CodeGetPooledTransactions, Hashes: want})
+	}
+}
+
+func (n *Node) handleRequest(p *peer, hashes []types.Hash) {
+	var txs []*types.Transaction
+	n.mu.Lock()
+	for _, h := range hashes {
+		if tx := n.pool.Get(h); tx != nil {
+			txs = append(txs, tx)
+		}
+	}
+	n.mu.Unlock()
+	if len(txs) > 0 {
+		_ = p.send(wire.Msg{Code: wire.CodePooledTransactions, Txs: txs})
+	}
+}
+
+// propagate gossips executable transactions: push to ⌈√peers⌉, announce to
+// the rest (or push to all under PushAll), excluding the source peer.
+func (n *Node) propagate(excludeAddr string, txs []*types.Transaction) {
+	n.mu.Lock()
+	targets := make([]*peer, 0, len(n.peers))
+	for addr, p := range n.peers {
+		if addr != excludeAddr {
+			targets = append(targets, p)
+		}
+	}
+	perm := n.rng.Perm(len(targets))
+	n.mu.Unlock()
+	if len(targets) == 0 {
+		return
+	}
+	pushCount := len(targets)
+	if !n.cfg.PushAll {
+		pushCount = int(math.Ceil(math.Sqrt(float64(len(targets)))))
+	}
+	hashes := make([]types.Hash, len(txs))
+	for i, tx := range txs {
+		hashes[i] = tx.Hash()
+	}
+	for i, pi := range perm {
+		p := targets[pi]
+		if i < pushCount {
+			_ = p.send(wire.Msg{Code: wire.CodeTransactions, Txs: txs})
+		} else {
+			_ = p.send(wire.Msg{Code: wire.CodeNewPooledTransactionHashes, Hashes: hashes})
+		}
+	}
+}
+
+// SubmitLocal offers a transaction as a local user would (RPC submission)
+// and gossips it when executable.
+func (n *Node) SubmitLocal(tx *types.Transaction) txpool.Status {
+	n.mu.Lock()
+	res := n.pool.Offer(tx)
+	var out []*types.Transaction
+	if res.Status == txpool.StatusPending || (res.Status == txpool.StatusReplaced && n.pool.IsPending(tx.Hash())) {
+		out = append(out, tx)
+	}
+	out = append(out, res.Promoted...)
+	n.mu.Unlock()
+	if len(out) > 0 && !n.cfg.NoForward {
+		n.propagate("", out)
+	}
+	return res.Status
+}
+
+// SendTo pushes transactions to one specific peer, bypassing the local pool
+// — the instrumented-client injection a measurement node needs (futures
+// included).
+func (n *Node) SendTo(peerAddr string, txs []*types.Transaction) error {
+	n.mu.Lock()
+	p := n.peers[peerAddr]
+	n.mu.Unlock()
+	if p == nil {
+		return fmt.Errorf("node: no peer %s", peerAddr)
+	}
+	return p.send(wire.Msg{Code: wire.CodeTransactions, Txs: txs})
+}
+
+// HasTx reports whether the pool buffers the hash (the RPC
+// eth_getTransactionByHash analogue).
+func (n *Node) HasTx(h types.Hash) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.pool.Has(h)
+}
+
+// PoolStats returns (total, pending, future) population counts.
+func (n *Node) PoolStats() (int, int, int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.pool.Len(), n.pool.PendingCount(), n.pool.FutureCount()
+}
+
+// PeerAddrs returns the connected peers' remote addresses, sorted.
+func (n *Node) PeerAddrs() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.peers))
+	for addr := range n.peers {
+		out = append(out, addr)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PeerCount returns the number of connected peers.
+func (n *Node) PeerCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.peers)
+}
+
+// ClientVersion returns the node's advertised version.
+func (n *Node) ClientVersion() string { return n.cfg.ClientVersion }

@@ -1,0 +1,58 @@
+package profile
+
+import (
+	"testing"
+
+	"toposhot/internal/txpool"
+)
+
+// TestProfileRecoversTable3 checks that black-box probing recovers exactly
+// the published Table-3 parameters for every client preset.
+func TestProfileRecoversTable3(t *testing.T) {
+	want := []struct {
+		policy txpool.Policy
+		r      float64
+		u      int
+		p      int
+		l      int
+		meas   bool
+	}{
+		{txpool.Geth, 0.10, 4096, 0, 5120, true},
+		{txpool.Parity, 0.125, 81, 2000, 8192, true},
+		{txpool.Nethermind, 0, 17, 0, 2048, false},
+		{txpool.Besu, 0.10, -1, 0, 4096, true},
+		{txpool.Aleth, 0, 1, 0, 2048, false},
+	}
+	for _, w := range want {
+		t.Run(w.policy.Name, func(t *testing.T) {
+			got := Profile(w.policy)
+			if got.L != w.l {
+				t.Errorf("L = %d, want %d", got.L, w.l)
+			}
+			if diff := got.R - w.r; diff > 0.001 || diff < -0.001 {
+				t.Errorf("R = %.4f, want %.4f", got.R, w.r)
+			}
+			if got.U != w.u {
+				t.Errorf("U = %d, want %d", got.U, w.u)
+			}
+			if got.P != w.p {
+				t.Errorf("P = %d, want %d", got.P, w.p)
+			}
+			if got.Measurable != w.meas {
+				t.Errorf("Measurable = %v, want %v", got.Measurable, w.meas)
+			}
+		})
+	}
+}
+
+func TestProfileAllCoversEveryClient(t *testing.T) {
+	rs := ProfileAll()
+	if len(rs) != len(txpool.AllClients) {
+		t.Fatalf("got %d profiles, want %d", len(rs), len(txpool.AllClients))
+	}
+	for i, r := range rs {
+		if r.Client != txpool.AllClients[i].Name {
+			t.Errorf("profile %d is %q, want %q", i, r.Client, txpool.AllClients[i].Name)
+		}
+	}
+}

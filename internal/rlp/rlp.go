@@ -1,0 +1,285 @@
+// Package rlp implements Ethereum's Recursive Length Prefix serialization.
+//
+// RLP encodes two kinds of items: byte strings and lists of items. This
+// implementation provides an explicit item tree (no reflection), which keeps
+// the wire package's message codecs simple and allocation-predictable:
+//
+//	payload := rlp.List(rlp.Uint(nonce), rlp.Bytes(addr[:]))
+//	enc := rlp.Encode(payload)
+//	item, err := rlp.Decode(enc)
+//
+// The encoding rules follow the yellow paper / devp2p spec:
+//
+//   - a single byte in [0x00, 0x7f] encodes as itself;
+//   - a 0–55 byte string encodes as 0x80+len followed by the string;
+//   - a longer string encodes as 0xb7+lenlen, the big-endian length, payload;
+//   - a list whose encoded payload is 0–55 bytes encodes as 0xc0+len, payload;
+//   - a longer list encodes as 0xf7+lenlen, the big-endian length, payload.
+package rlp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Kind discriminates the two RLP item kinds.
+type Kind uint8
+
+// Item kinds.
+const (
+	KindString Kind = iota
+	KindList
+)
+
+// Item is a node of an RLP item tree.
+type Item struct {
+	Kind  Kind
+	Str   []byte // valid when Kind == KindString
+	Items []Item // valid when Kind == KindList
+}
+
+// Bytes returns a string item holding b.
+func Bytes(b []byte) Item { return Item{Kind: KindString, Str: b} }
+
+// String returns a string item holding s.
+func String(s string) Item { return Item{Kind: KindString, Str: []byte(s)} }
+
+// Uint returns a string item holding the minimal big-endian encoding of v.
+// Zero encodes as the empty string, per the RLP convention for integers.
+func Uint(v uint64) Item {
+	if v == 0 {
+		return Item{Kind: KindString}
+	}
+	var buf [8]byte
+	n := 0
+	for shift := 56; shift >= 0; shift -= 8 {
+		b := byte(v >> uint(shift))
+		if n == 0 && b == 0 {
+			continue
+		}
+		buf[n] = b
+		n++
+	}
+	return Item{Kind: KindString, Str: append([]byte(nil), buf[:n]...)}
+}
+
+// List returns a list item of the given children.
+func List(items ...Item) Item { return Item{Kind: KindList, Items: items} }
+
+// AsUint interprets a string item as a big-endian unsigned integer.
+func (it Item) AsUint() (uint64, error) {
+	if it.Kind != KindString {
+		return 0, errors.New("rlp: uint from list item")
+	}
+	if len(it.Str) > 8 {
+		return 0, fmt.Errorf("rlp: integer too large (%d bytes)", len(it.Str))
+	}
+	if len(it.Str) > 0 && it.Str[0] == 0 {
+		return 0, errors.New("rlp: integer with leading zero")
+	}
+	var v uint64
+	for _, b := range it.Str {
+		v = v<<8 | uint64(b)
+	}
+	return v, nil
+}
+
+// AsBytes returns the item's byte string.
+func (it Item) AsBytes() ([]byte, error) {
+	if it.Kind != KindString {
+		return nil, errors.New("rlp: bytes from list item")
+	}
+	return it.Str, nil
+}
+
+// AsList returns the item's children.
+func (it Item) AsList() ([]Item, error) {
+	if it.Kind != KindList {
+		return nil, errors.New("rlp: list from string item")
+	}
+	return it.Items, nil
+}
+
+// encodedLen returns the byte length of the item's encoding.
+func encodedLen(it Item) int {
+	if it.Kind == KindString {
+		n := len(it.Str)
+		if n == 1 && it.Str[0] <= 0x7f {
+			return 1
+		}
+		return headerLen(n) + n
+	}
+	payload := 0
+	for _, c := range it.Items {
+		payload += encodedLen(c)
+	}
+	return headerLen(payload) + payload
+}
+
+// headerLen returns the length of the header for a payload of n bytes.
+func headerLen(n int) int {
+	if n <= 55 {
+		return 1
+	}
+	return 1 + bigEndianLen(uint64(n))
+}
+
+func bigEndianLen(v uint64) int {
+	n := 0
+	for v > 0 {
+		n++
+		v >>= 8
+	}
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+// Encode serializes the item tree to RLP bytes.
+func Encode(it Item) []byte {
+	buf := make([]byte, 0, encodedLen(it))
+	return appendItem(buf, it)
+}
+
+func appendItem(buf []byte, it Item) []byte {
+	if it.Kind == KindString {
+		n := len(it.Str)
+		if n == 1 && it.Str[0] <= 0x7f {
+			return append(buf, it.Str[0])
+		}
+		buf = appendHeader(buf, 0x80, n)
+		return append(buf, it.Str...)
+	}
+	payload := 0
+	for _, c := range it.Items {
+		payload += encodedLen(c)
+	}
+	buf = appendHeader(buf, 0xc0, payload)
+	for _, c := range it.Items {
+		buf = appendItem(buf, c)
+	}
+	return buf
+}
+
+func appendHeader(buf []byte, base byte, n int) []byte {
+	if n <= 55 {
+		return append(buf, base+byte(n))
+	}
+	ll := bigEndianLen(uint64(n))
+	buf = append(buf, base+55+byte(ll))
+	for shift := (ll - 1) * 8; shift >= 0; shift -= 8 {
+		buf = append(buf, byte(n>>uint(shift)))
+	}
+	return buf
+}
+
+// Decode parses exactly one RLP item from data. Trailing bytes are an error.
+func Decode(data []byte) (Item, error) {
+	it, rest, err := decodeOne(data)
+	if err != nil {
+		return Item{}, err
+	}
+	if len(rest) != 0 {
+		return Item{}, fmt.Errorf("rlp: %d trailing bytes", len(rest))
+	}
+	return it, nil
+}
+
+// DecodePrefix parses one RLP item from the front of data and returns the
+// unconsumed remainder.
+func DecodePrefix(data []byte) (Item, []byte, error) {
+	return decodeOne(data)
+}
+
+var errTruncated = errors.New("rlp: truncated input")
+
+func decodeOne(data []byte) (Item, []byte, error) {
+	if len(data) == 0 {
+		return Item{}, nil, errTruncated
+	}
+	b := data[0]
+	switch {
+	case b <= 0x7f:
+		return Item{Kind: KindString, Str: data[:1]}, data[1:], nil
+	case b <= 0xb7:
+		n := int(b - 0x80)
+		if len(data) < 1+n {
+			return Item{}, nil, errTruncated
+		}
+		if n == 1 && data[1] <= 0x7f {
+			return Item{}, nil, errors.New("rlp: non-canonical single byte")
+		}
+		return Item{Kind: KindString, Str: data[1 : 1+n]}, data[1+n:], nil
+	case b <= 0xbf:
+		n, rest, err := longLength(data, b-0xb7)
+		if err != nil {
+			return Item{}, nil, err
+		}
+		if n <= 55 {
+			return Item{}, nil, errors.New("rlp: non-canonical long string")
+		}
+		if len(rest) < n {
+			return Item{}, nil, errTruncated
+		}
+		return Item{Kind: KindString, Str: rest[:n]}, rest[n:], nil
+	case b <= 0xf7:
+		n := int(b - 0xc0)
+		if len(data) < 1+n {
+			return Item{}, nil, errTruncated
+		}
+		items, err := decodeList(data[1 : 1+n])
+		if err != nil {
+			return Item{}, nil, err
+		}
+		return Item{Kind: KindList, Items: items}, data[1+n:], nil
+	default:
+		n, rest, err := longLength(data, b-0xf7)
+		if err != nil {
+			return Item{}, nil, err
+		}
+		if n <= 55 {
+			return Item{}, nil, errors.New("rlp: non-canonical long list")
+		}
+		if len(rest) < n {
+			return Item{}, nil, errTruncated
+		}
+		items, err := decodeList(rest[:n])
+		if err != nil {
+			return Item{}, nil, err
+		}
+		return Item{Kind: KindList, Items: items}, rest[n:], nil
+	}
+}
+
+// longLength parses an ll-byte big-endian length following the header byte.
+func longLength(data []byte, ll byte) (int, []byte, error) {
+	if len(data) < 1+int(ll) {
+		return 0, nil, errTruncated
+	}
+	lenBytes := data[1 : 1+ll]
+	if lenBytes[0] == 0 {
+		return 0, nil, errors.New("rlp: length with leading zero")
+	}
+	var n uint64
+	for _, lb := range lenBytes {
+		n = n<<8 | uint64(lb)
+		if n > 1<<31 {
+			return 0, nil, errors.New("rlp: length overflow")
+		}
+	}
+	return int(n), data[1+ll:], nil
+}
+
+func decodeList(payload []byte) ([]Item, error) {
+	var items []Item
+	for len(payload) > 0 {
+		it, rest, err := decodeOne(payload)
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, it)
+		payload = rest
+	}
+	return items, nil
+}

@@ -1,0 +1,163 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All Ethereum-network behaviour in this repository (gossip latency, mempool
+// churn, mining) runs on virtual time managed by an Engine: events are
+// functions scheduled at absolute timestamps and executed in timestamp order,
+// with FIFO ordering among events at the same instant. Determinism comes from
+// a single seeded random source owned by the engine; two runs with the same
+// seed replay identically, which is what makes the Appendix-C twin-world
+// non-interference experiment possible.
+package sim
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+)
+
+// Engine is a discrete-event scheduler over virtual seconds.
+// It is not safe for concurrent use; simulations are single-threaded by
+// design so that runs are reproducible.
+type Engine struct {
+	now    float64
+	seq    uint64
+	events eventHeap
+	rng    *rand.Rand
+}
+
+type event struct {
+	at  float64
+	seq uint64 // tie-break: FIFO among same-time events
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// New returns an engine with virtual time 0 and a deterministic random
+// source derived from seed.
+func New(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// At schedules fn at absolute virtual time t. Scheduling in the past runs
+// the event at the current time instead (never backwards).
+func (e *Engine) At(t float64, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn d seconds from now.
+func (e *Engine) After(d float64, fn func()) { e.At(e.now+d, fn) }
+
+// Step executes the next pending event and reports whether one existed.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Pending returns the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Run executes events until the queue drains or the event budget is
+// exhausted. The budget guards against runaway self-rescheduling loops; a
+// budget ≤ 0 means unlimited.
+func (e *Engine) Run(budget int) {
+	if budget <= 0 {
+		budget = -1
+	}
+	for budget != 0 && e.Step() {
+		if budget > 0 {
+			budget--
+		}
+	}
+}
+
+// RunUntil executes events with timestamps ≤ t and then advances the clock
+// to exactly t. Events scheduled beyond t remain pending.
+func (e *Engine) RunUntil(t float64) {
+	for len(e.events) > 0 && e.events[0].at <= t {
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// Jitter samples a latency from a truncated shifted-exponential
+// distribution: base + Exp(mean tail), capped at max. It models gossip hop
+// latency: most deliveries land near the base RTT with a straggler tail —
+// the stragglers are exactly what re-propagates txC in §5.2.1 and erodes
+// parallel-measurement recall in Figure 4b.
+func (e *Engine) Jitter(base, tailMean, max float64) float64 {
+	d := base + e.rng.ExpFloat64()*tailMean
+	if d > max {
+		d = max
+	}
+	return d
+}
+
+// Uniform samples uniformly from [lo, hi).
+func (e *Engine) Uniform(lo, hi float64) float64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + e.rng.Float64()*(hi-lo)
+}
+
+// Poisson samples a Poisson-distributed count with the given mean using
+// Knuth's method for small means and a normal approximation for large ones.
+func (e *Engine) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 30 {
+		v := e.rng.NormFloat64()*math.Sqrt(mean) + mean
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= e.rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Perm returns a deterministic random permutation of n elements.
+func (e *Engine) Perm(n int) []int { return e.rng.Perm(n) }

@@ -1,0 +1,162 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMedianAndQuantile(t *testing.T) {
+	if Median(nil) != 0 {
+		t.Error("median of empty != 0")
+	}
+	if !almost(Median([]float64{3, 1, 2}), 2) {
+		t.Error("odd median wrong")
+	}
+	if !almost(Median([]float64{1, 2, 3, 4}), 2.5) {
+		t.Error("even median interpolation wrong")
+	}
+	xs := []float64{10, 20, 30, 40, 50}
+	if !almost(Quantile(xs, 0), 10) || !almost(Quantile(xs, 1), 50) {
+		t.Error("extreme quantiles wrong")
+	}
+	if !almost(Quantile(xs, 0.25), 20) {
+		t.Errorf("q25 = %v", Quantile(xs, 0.25))
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	Quantile(xs, 0.5)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestMedianUint64(t *testing.T) {
+	if MedianUint64(nil) != 0 {
+		t.Error("empty != 0")
+	}
+	if MedianUint64([]uint64{5, 1, 9}) != 5 {
+		t.Error("odd median wrong")
+	}
+	// Even length takes the lower middle.
+	if MedianUint64([]uint64{1, 2, 3, 4}) != 2 {
+		t.Error("even median wrong")
+	}
+}
+
+func TestMedianUint64WithinRange(t *testing.T) {
+	f := func(xs []uint64) bool {
+		if len(xs) == 0 {
+			return MedianUint64(xs) == 0
+		}
+		m := MedianUint64(xs)
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		return m >= lo && m <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if !almost(Mean(xs), 5) {
+		t.Errorf("mean = %v", Mean(xs))
+	}
+	if !almost(Variance(xs), 4) {
+		t.Errorf("variance = %v", Variance(xs))
+	}
+	if !almost(StdDev(xs), 2) {
+		t.Errorf("stddev = %v", StdDev(xs))
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if !almost(Pearson(xs, xs), 1) {
+		t.Error("self correlation != 1")
+	}
+	neg := []float64{4, 3, 2, 1}
+	if !almost(Pearson(xs, neg), -1) {
+		t.Error("anti correlation != -1")
+	}
+	if Pearson(xs, []float64{1, 1, 1, 1}) != 0 {
+		t.Error("zero variance should yield 0")
+	}
+	if Pearson(xs, xs[:2]) != 0 {
+		t.Error("length mismatch should yield 0")
+	}
+}
+
+func TestPearsonBounds(t *testing.T) {
+	f := func(pairs [][2]float64) bool {
+		if len(pairs) < 2 {
+			return true
+		}
+		xs := make([]float64, len(pairs))
+		ys := make([]float64, len(pairs))
+		for i, p := range pairs {
+			// Domain values (gas prices, degrees) are far below 1e100;
+			// extreme magnitudes overflow the cross products legitimately.
+			if math.IsNaN(p[0]) || math.IsNaN(p[1]) ||
+				math.Abs(p[0]) > 1e100 || math.Abs(p[1]) > 1e100 {
+				return true
+			}
+			xs[i], ys[i] = p[0], p[1]
+		}
+		r := Pearson(xs, ys)
+		return r >= -1.0000001 && r <= 1.0000001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int{1, 1, 2, 5, 5, 5} {
+		h.Add(v)
+	}
+	if h.Total() != 6 || h.Count(5) != 3 || h.Count(9) != 0 {
+		t.Fatalf("counts wrong: total=%d c5=%d", h.Total(), h.Count(5))
+	}
+	if !almost(h.Fraction(1), 2.0/6) {
+		t.Errorf("fraction = %v", h.Fraction(1))
+	}
+	if got := h.Keys(); len(got) != 3 || got[0] != 1 || got[2] != 5 {
+		t.Errorf("keys = %v", got)
+	}
+	if h.Max() != 5 {
+		t.Errorf("max = %d", h.Max())
+	}
+	buckets := h.Bucket([]int{1, 4})
+	// v<1 → bucket0 (0), 1≤v<4 → bucket1 (3), v≥4 → overflow (3)
+	if buckets[0] != 0 || buckets[1] != 3 || buckets[2] != 3 {
+		t.Errorf("buckets = %v", buckets)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || !almost(s.Median, 3) {
+		t.Fatalf("summary wrong: %+v", s)
+	}
+	if Summarize(nil).N != 0 {
+		t.Error("empty summary should be zero")
+	}
+	if s.String() == "" {
+		t.Error("summary string empty")
+	}
+}

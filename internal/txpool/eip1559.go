@@ -1,0 +1,45 @@
+package txpool
+
+import "toposhot/internal/types"
+
+// EIP-1559 support (Appendix E of the paper). Under the fee-market upgrade a
+// transaction carries a max fee (fee cap) and a priority fee (tip); the
+// chain sets a per-block base fee. The appendix's observations, which this
+// file implements:
+//
+//   - the mempool uses the MAX FEE for admission, replacement and eviction
+//     decisions (a dynamic-fee transaction's GasPrice field here *is* its
+//     fee cap — see types.Transaction.FeeCap);
+//   - a pending transaction whose max fee falls below the base fee becomes
+//     underpriced and is dropped;
+//   - TopoShot therefore keeps working as long as the measurement
+//     transactions' max fees stay above the base fee.
+
+// SetBaseFee records the current base fee and drops buffered transactions
+// whose fee caps fall below it — the "negative priority fee" rule of
+// Appendix E. It returns the dropped transactions.
+func (p *Pool) SetBaseFee(baseFee uint64) []*types.Transaction {
+	p.baseFee = baseFee
+	if baseFee == 0 {
+		return nil
+	}
+	var drop []*entry
+	for _, e := range p.all {
+		if e.tx.FeeCap() < baseFee {
+			drop = append(drop, e)
+		}
+	}
+	out := make([]*types.Transaction, 0, len(drop))
+	for _, e := range drop {
+		p.remove(e)
+		p.repartition(e.tx.From)
+		out = append(out, e.tx)
+		if p.DropObserver != nil {
+			p.DropObserver(e.tx, "base-fee-underpriced")
+		}
+	}
+	return out
+}
+
+// BaseFee returns the base fee the pool last observed.
+func (p *Pool) BaseFee() uint64 { return p.baseFee }

@@ -1,0 +1,127 @@
+// Package txpool implements the Ethereum mempool semantics TopoShot
+// leverages: the pending/future transaction split, price-bump replacement,
+// and capacity-pressure eviction, parameterized by the four policy knobs the
+// paper profiles in Table 3 (R, U, P, L).
+package txpool
+
+import "math"
+
+// Policy captures a client's mempool behaviour in the paper's notation:
+//
+//	R — minimal relative gas-price bump for replacement (BumpMil/1000);
+//	U — max future transactions admitted per sender account;
+//	P — minimal pending population required before future-driven eviction;
+//	L — mempool capacity in transactions.
+type Policy struct {
+	// Name of the client implementing this policy.
+	Name string
+	// ClientVersion is the web3_clientVersion-style identification string.
+	ClientVersion string
+	// BumpMil is the replacement price bump R in thousandths:
+	// 100 means a 10% bump, 125 means 12.5%, 0 means same-price replacement.
+	BumpMil uint64
+	// MaxFuturePerAccount is U. Use Unlimited for no cap (Besu).
+	MaxFuturePerAccount int
+	// MinPendingForEviction is P: a future transaction may evict only while
+	// more than this many pending transactions are buffered.
+	MinPendingForEviction int
+	// Capacity is L, the total transaction capacity of the pool.
+	Capacity int
+	// Expiry is the unconfirmed-transaction lifetime in seconds (Appendix C's
+	// e; 3 hours for Geth). Zero disables expiry.
+	Expiry float64
+}
+
+// Unlimited marks an uncapped per-account future allowance.
+const Unlimited = math.MaxInt32
+
+// DefaultExpiry is Geth's default unconfirmed-transaction lifetime (3 h).
+const DefaultExpiry = 3 * 3600.0
+
+// Client policy presets matching Table 3 of the paper. Deployment shares on
+// the 2021 mainnet: Geth 83.24%, Parity 14.57%, Nethermind 1.53%,
+// Besu 0.52%, Aleth 0%.
+var (
+	// Geth is the dominant Go client: R=10%, U=4096, P=0, L=5120.
+	Geth = Policy{
+		Name: "geth", ClientVersion: "Geth/v1.9.25-stable/linux-amd64/go1.15.6",
+		BumpMil: 100, MaxFuturePerAccount: 4096, MinPendingForEviction: 0,
+		Capacity: 5120, Expiry: DefaultExpiry,
+	}
+	// Parity (OpenEthereum): R=12.5%, U=81, P=2000, L=8192.
+	Parity = Policy{
+		Name: "parity", ClientVersion: "OpenEthereum//v3.1.0-stable/x86_64-linux-gnu/rustc1.50.0",
+		BumpMil: 125, MaxFuturePerAccount: 81, MinPendingForEviction: 2000,
+		Capacity: 8192, Expiry: DefaultExpiry,
+	}
+	// Nethermind: R=0% (flawed: same-price replacement), U=17, P=0, L=2048.
+	Nethermind = Policy{
+		Name: "nethermind", ClientVersion: "Nethermind/v1.10.17/linux-x64/dotnet5.0.4",
+		BumpMil: 0, MaxFuturePerAccount: 17, MinPendingForEviction: 0,
+		Capacity: 2048, Expiry: DefaultExpiry,
+	}
+	// Besu: R=10%, U=∞, P=0, L=4096.
+	Besu = Policy{
+		Name: "besu", ClientVersion: "besu/v21.1.2/linux-x86_64/oracle_openjdk-java-11",
+		BumpMil: 100, MaxFuturePerAccount: Unlimited, MinPendingForEviction: 0,
+		Capacity: 4096, Expiry: DefaultExpiry,
+	}
+	// Aleth: R=0% (flawed), U=1, P=0, L=2048.
+	Aleth = Policy{
+		Name: "aleth", ClientVersion: "aleth/1.8.0/linux/gnu7.5.0",
+		BumpMil: 0, MaxFuturePerAccount: 1, MinPendingForEviction: 0,
+		Capacity: 2048, Expiry: DefaultExpiry,
+	}
+)
+
+// AllClients lists the Table-3 presets in deployment order.
+var AllClients = []Policy{Geth, Parity, Nethermind, Besu, Aleth}
+
+// ClientByName returns the preset with the given Name and true, or a zero
+// Policy and false.
+func ClientByName(name string) (Policy, bool) {
+	for _, p := range AllClients {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Policy{}, false
+}
+
+// Measurable reports whether TopoShot can measure a node running this
+// policy. A zero replacement bump (R = 0) breaks the isolation property —
+// the medium-priced txC would be replaceable by the equally-priced txA —
+// so Nethermind and Aleth are not measurable (§5.1).
+func (p Policy) Measurable() bool { return p.BumpMil > 0 }
+
+// ReplaceThreshold returns the minimal gas price that replaces an existing
+// transaction priced oldPrice, i.e. ceil(oldPrice × (1 + R)).
+func (p Policy) ReplaceThreshold(oldPrice uint64) uint64 {
+	num := oldPrice * (1000 + p.BumpMil)
+	th := num / 1000
+	if num%1000 != 0 {
+		th++
+	}
+	return th
+}
+
+// WithCapacity returns a copy of the policy with capacity l — used to model
+// nodes running non-default --txpool.globalslots settings (§5.2.3).
+func (p Policy) WithCapacity(l int) Policy {
+	p.Capacity = l
+	return p
+}
+
+// WithBumpMil returns a copy with a custom replacement threshold — used to
+// model nodes with non-default price-bump settings (§6.1's second culprit).
+func (p Policy) WithBumpMil(bump uint64) Policy {
+	p.BumpMil = bump
+	return p
+}
+
+// WithExpiry returns a copy with a custom unconfirmed-transaction lifetime.
+// Scaled-pool campaigns scale the lifetime alongside capacity.
+func (p Policy) WithExpiry(seconds float64) Policy {
+	p.Expiry = seconds
+	return p
+}

@@ -1,0 +1,536 @@
+package txpool
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"toposhot/internal/types"
+)
+
+// Status is the outcome of offering a transaction to a pool. The node layer
+// uses it to decide propagation: only transactions that became pending
+// (StatusPending, StatusReplaced, plus any promotions returned alongside)
+// are gossiped; futures are buffered silently (§2, "Transaction propagation").
+type Status int
+
+// Offer outcomes.
+const (
+	// StatusPending: admitted as an executable (pending) transaction.
+	StatusPending Status = iota
+	// StatusFuture: admitted, but queued as a future (nonce-gapped) transaction.
+	StatusFuture
+	// StatusReplaced: admitted by replacing a same-sender/same-nonce transaction.
+	StatusReplaced
+	// StatusKnown: duplicate of a transaction already in the pool.
+	StatusKnown
+	// StatusUnderpriced: rejected; a same-sender/nonce transaction exists and
+	// the price bump is below the policy threshold R.
+	StatusUnderpriced
+	// StatusPoolFull: rejected; the pool is full and the transaction cannot
+	// evict anything under the policy (price too low, P unmet, or U exceeded).
+	StatusPoolFull
+	// StatusStaleNonce: rejected; the nonce is below the sender's account nonce.
+	StatusStaleNonce
+	// StatusOverAccountCap: rejected future; the sender already has U futures.
+	StatusOverAccountCap
+)
+
+// Admitted reports whether the offer left the transaction in the pool.
+func (s Status) Admitted() bool {
+	return s == StatusPending || s == StatusFuture || s == StatusReplaced
+}
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusPending:
+		return "pending"
+	case StatusFuture:
+		return "future"
+	case StatusReplaced:
+		return "replaced"
+	case StatusKnown:
+		return "known"
+	case StatusUnderpriced:
+		return "underpriced"
+	case StatusPoolFull:
+		return "pool-full"
+	case StatusStaleNonce:
+		return "stale-nonce"
+	case StatusOverAccountCap:
+		return "over-account-cap"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Result describes everything an Offer did to the pool, so the node layer
+// can propagate newly executable transactions and observability hooks can
+// record replacements and evictions.
+type Result struct {
+	Status Status
+	// Replaced is the transaction displaced by a same-sender/nonce
+	// replacement, if Status == StatusReplaced.
+	Replaced *types.Transaction
+	// Evicted lists transactions dropped to make room for the offered one.
+	Evicted []*types.Transaction
+	// Promoted lists previously-future transactions that became pending as a
+	// consequence of this admission (nonce gap closed). The offered
+	// transaction itself is not repeated here.
+	Promoted []*types.Transaction
+}
+
+type entry struct {
+	tx      *types.Transaction
+	added   float64 // pool time at admission, for expiry
+	pending bool
+	// heap bookkeeping for the price index; -1 when not in the heap.
+	heapIdx int
+}
+
+// Pool is a single node's mempool. It is not safe for concurrent use; the
+// simulator is single-threaded and the live TCP node wraps it in a mutex.
+type Pool struct {
+	policy Policy
+
+	all      map[types.Hash]*entry
+	bySender map[types.Address]map[uint64]*entry // sender → nonce → entry
+	// stateNonce is the account nonce from chain state: the next expected
+	// nonce per sender. Senders absent from the map have nonce 0.
+	stateNonce map[types.Address]uint64
+
+	price priceHeap // min-heap over gas price for eviction victims
+
+	// ageQueue holds entries in admission order for O(1) amortized expiry;
+	// removed entries are skipped lazily (heapIdx == -1).
+	ageQueue []*entry
+
+	pendingCount int
+	futureCount  int
+	now          float64
+	baseFee      uint64
+
+	// DropObserver, when set, is invoked for every transaction that leaves
+	// the pool involuntarily (eviction, expiry), with a reason tag.
+	DropObserver func(tx *types.Transaction, reason string)
+}
+
+// New returns an empty pool with the given policy.
+func New(policy Policy) *Pool {
+	return &Pool{
+		policy:     policy,
+		all:        make(map[types.Hash]*entry),
+		bySender:   make(map[types.Address]map[uint64]*entry),
+		stateNonce: make(map[types.Address]uint64),
+	}
+}
+
+// Policy returns the pool's policy.
+func (p *Pool) Policy() Policy { return p.policy }
+
+// SetTime advances the pool clock (virtual seconds) and expires transactions
+// older than the policy expiry. Admission order makes the age queue
+// monotone, so expiry is O(expired) amortized.
+func (p *Pool) SetTime(now float64) {
+	p.now = now
+	if p.policy.Expiry <= 0 {
+		return
+	}
+	for len(p.ageQueue) > 0 {
+		e := p.ageQueue[0]
+		if e.heapIdx < 0 { // already removed; skip lazily
+			p.ageQueue = p.ageQueue[1:]
+			continue
+		}
+		if now-e.added <= p.policy.Expiry {
+			break
+		}
+		p.ageQueue = p.ageQueue[1:]
+		p.remove(e)
+		p.repartition(e.tx.From)
+		if p.DropObserver != nil {
+			p.DropObserver(e.tx, "expired")
+		}
+	}
+}
+
+// Len returns the number of buffered transactions.
+func (p *Pool) Len() int { return len(p.all) }
+
+// PendingCount returns the number of executable transactions.
+func (p *Pool) PendingCount() int { return p.pendingCount }
+
+// FutureCount returns the number of nonce-gapped transactions.
+func (p *Pool) FutureCount() int { return p.futureCount }
+
+// Full reports whether the pool is at capacity.
+func (p *Pool) Full() bool { return len(p.all) >= p.policy.Capacity }
+
+// Has reports whether the pool holds the transaction with the given hash.
+func (p *Pool) Has(h types.Hash) bool { _, ok := p.all[h]; return ok }
+
+// Get returns the buffered transaction with the given hash, or nil.
+func (p *Pool) Get(h types.Hash) *types.Transaction {
+	if e, ok := p.all[h]; ok {
+		return e.tx
+	}
+	return nil
+}
+
+// GetBySenderNonce returns the buffered transaction from sender with the
+// given nonce, or nil.
+func (p *Pool) GetBySenderNonce(sender types.Address, nonce uint64) *types.Transaction {
+	if e, ok := p.bySender[sender][nonce]; ok {
+		return e.tx
+	}
+	return nil
+}
+
+// IsPending reports whether the hash is buffered as a pending transaction.
+func (p *Pool) IsPending(h types.Hash) bool {
+	e, ok := p.all[h]
+	return ok && e.pending
+}
+
+// StateNonce returns the chain nonce recorded for sender.
+func (p *Pool) StateNonce(sender types.Address) uint64 { return p.stateNonce[sender] }
+
+// SetStateNonce records sender's chain nonce. It re-evaluates the sender's
+// buffered transactions: stale ones are dropped and newly executable ones
+// promoted. It returns the promoted transactions.
+func (p *Pool) SetStateNonce(sender types.Address, nonce uint64) []*types.Transaction {
+	p.stateNonce[sender] = nonce
+	// Drop stale.
+	for n, e := range p.bySender[sender] {
+		if n < nonce {
+			p.remove(e)
+		}
+	}
+	return p.repartition(sender)
+}
+
+// senderFutureCount counts sender's buffered future transactions.
+func (p *Pool) senderFutureCount(sender types.Address) int {
+	n := 0
+	for _, e := range p.bySender[sender] {
+		if !e.pending {
+			n++
+		}
+	}
+	return n
+}
+
+// isExecutable reports whether a transaction with the given sender and nonce
+// would be pending: every nonce from the state nonce up to it is present.
+func (p *Pool) isExecutable(sender types.Address, nonce uint64) bool {
+	next := p.stateNonce[sender]
+	if nonce < next {
+		return false
+	}
+	m := p.bySender[sender]
+	for n := next; n < nonce; n++ {
+		if _, ok := m[n]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Offer submits a transaction to the pool and returns what happened. This is
+// the single admission path; it implements, in order:
+//
+//  1. duplicate and stale-nonce filtering;
+//  2. same-sender/nonce replacement under the R price-bump rule;
+//  3. the per-account future cap U;
+//  4. capacity-pressure eviction under the L/P rules, evicting the
+//     lowest-priced transaction while the pool is over capacity;
+//  5. pending/future classification and promotion of unblocked futures.
+func (p *Pool) Offer(tx *types.Transaction) Result {
+	h := tx.Hash()
+	if _, ok := p.all[h]; ok {
+		return Result{Status: StatusKnown}
+	}
+	if tx.Nonce < p.stateNonce[tx.From] {
+		return Result{Status: StatusStaleNonce}
+	}
+
+	// Replacement path: same sender and nonce as a buffered transaction.
+	if old, ok := p.bySender[tx.From][tx.Nonce]; ok {
+		if tx.GasPrice < p.policy.ReplaceThreshold(old.tx.GasPrice) {
+			return Result{Status: StatusUnderpriced}
+		}
+		replaced := old.tx
+		wasPending := old.pending
+		p.remove(old)
+		e := p.insert(tx, wasPending)
+		_ = e
+		return Result{Status: StatusReplaced, Replaced: replaced}
+	}
+
+	executable := p.isExecutable(tx.From, tx.Nonce)
+
+	// Per-account future cap (U) applies to future admissions.
+	if !executable && p.senderFutureCount(tx.From) >= p.policy.MaxFuturePerAccount {
+		return Result{Status: StatusOverAccountCap}
+	}
+
+	// Capacity pressure: evict until there is room, or reject.
+	var evicted []*types.Transaction
+	for len(p.all) >= p.policy.Capacity {
+		var victim *entry
+		if executable {
+			// Executable transactions are first-class: they displace the
+			// cheapest queued future regardless of price (Geth truncates the
+			// queue before touching pending slots), falling back to a
+			// price-checked pending victim.
+			victim = p.cheapestFuture()
+			if victim == nil {
+				victim = p.cheapest()
+				if victim == nil || tx.GasPrice <= victim.tx.GasPrice {
+					return Result{Status: StatusPoolFull}
+				}
+			}
+		} else {
+			victim = p.cheapest()
+			if victim == nil {
+				return Result{Status: StatusPoolFull}
+			}
+			// The incoming future must outbid the victim, and may evict a
+			// pending transaction only while the pending population exceeds
+			// P (Table 2's eviction conditions).
+			if tx.GasPrice <= victim.tx.GasPrice {
+				return Result{Status: StatusPoolFull}
+			}
+			if victim.pending && p.pendingCount <= p.policy.MinPendingForEviction {
+				return Result{Status: StatusPoolFull}
+			}
+		}
+		p.remove(victim)
+		evicted = append(evicted, victim.tx)
+		if p.DropObserver != nil {
+			p.DropObserver(victim.tx, "evicted")
+		}
+	}
+
+	p.insert(tx, executable)
+	status := StatusFuture
+	var promoted []*types.Transaction
+	if executable {
+		status = StatusPending
+		promoted = p.repartition(tx.From)
+		// repartition reports the offered tx too; exclude it from Promoted.
+		filtered := promoted[:0]
+		for _, ptx := range promoted {
+			if ptx.Hash() != h {
+				filtered = append(filtered, ptx)
+			}
+		}
+		promoted = filtered
+	}
+	return Result{Status: status, Evicted: evicted, Promoted: promoted}
+}
+
+// insert adds an entry with the given pending flag.
+func (p *Pool) insert(tx *types.Transaction, pending bool) *entry {
+	e := &entry{tx: tx, added: p.now, pending: pending, heapIdx: -1}
+	p.all[tx.Hash()] = e
+	m := p.bySender[tx.From]
+	if m == nil {
+		m = make(map[uint64]*entry)
+		p.bySender[tx.From] = m
+	}
+	m[tx.Nonce] = e
+	heap.Push(&p.price, e)
+	p.ageQueue = append(p.ageQueue, e)
+	if pending {
+		p.pendingCount++
+	} else {
+		p.futureCount++
+	}
+	return e
+}
+
+// remove deletes an entry from all indexes.
+func (p *Pool) remove(e *entry) {
+	delete(p.all, e.tx.Hash())
+	m := p.bySender[e.tx.From]
+	delete(m, e.tx.Nonce)
+	if len(m) == 0 {
+		delete(p.bySender, e.tx.From)
+	}
+	if e.heapIdx >= 0 {
+		heap.Remove(&p.price, e.heapIdx)
+	}
+	if e.pending {
+		p.pendingCount--
+	} else {
+		p.futureCount--
+	}
+}
+
+// cheapest returns the lowest-priced entry, or nil when the pool is empty.
+func (p *Pool) cheapest() *entry {
+	if len(p.price) == 0 {
+		return nil
+	}
+	return p.price[0]
+}
+
+// cheapestFuture returns the lowest-priced future entry, or nil when no
+// futures are buffered. Linear scan: only the rare full-pool pending
+// admission path needs it.
+func (p *Pool) cheapestFuture() *entry {
+	var best *entry
+	for _, e := range p.price {
+		if e.pending {
+			continue
+		}
+		if best == nil || e.tx.GasPrice < best.tx.GasPrice {
+			best = e
+		}
+	}
+	return best
+}
+
+// repartition re-derives the pending/future flags for one sender's
+// transactions after an insertion or nonce change, returning transactions
+// that transitioned future → pending (including a just-inserted one).
+func (p *Pool) repartition(sender types.Address) []*types.Transaction {
+	m := p.bySender[sender]
+	if len(m) == 0 {
+		return nil
+	}
+	var promoted []*types.Transaction
+	n := p.stateNonce[sender]
+	for {
+		e, ok := m[n]
+		if !ok {
+			break
+		}
+		if !e.pending {
+			e.pending = true
+			p.futureCount--
+			p.pendingCount++
+			promoted = append(promoted, e.tx)
+		}
+		n++
+	}
+	// Demote anything beyond the gap that is marked pending (can happen
+	// after a mid-sequence removal).
+	for nonce, e := range m {
+		if nonce >= n && e.pending {
+			e.pending = false
+			p.pendingCount--
+			p.futureCount++
+		}
+	}
+	return promoted
+}
+
+// RemoveConfirmed removes transactions included in a block and advances the
+// senders' state nonces, returning newly promoted transactions.
+func (p *Pool) RemoveConfirmed(txs []*types.Transaction) []*types.Transaction {
+	touched := make(map[types.Address]uint64)
+	for _, tx := range txs {
+		if e, ok := p.all[tx.Hash()]; ok {
+			p.remove(e)
+		}
+		if next := tx.Nonce + 1; next > touched[tx.From] {
+			touched[tx.From] = next
+		}
+	}
+	var promoted []*types.Transaction
+	for sender, next := range touched {
+		if next > p.stateNonce[sender] {
+			promoted = append(promoted, p.SetStateNonce(sender, next)...)
+		}
+	}
+	return promoted
+}
+
+// Drop removes a specific transaction (used by tests and by the chain layer
+// for invalidated transactions). It reports whether the hash was present.
+func (p *Pool) Drop(h types.Hash) bool {
+	e, ok := p.all[h]
+	if !ok {
+		return false
+	}
+	p.remove(e)
+	p.repartition(e.tx.From)
+	return true
+}
+
+// Pending returns the executable transactions ordered by descending gas
+// price (miner order). Ties break on sender/nonce for determinism.
+func (p *Pool) Pending() []*types.Transaction {
+	out := make([]*types.Transaction, 0, p.pendingCount)
+	for _, e := range p.all {
+		if e.pending {
+			out = append(out, e.tx)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].GasPrice != out[j].GasPrice {
+			return out[i].GasPrice > out[j].GasPrice
+		}
+		if out[i].From != out[j].From {
+			return string(out[i].From[:]) < string(out[j].From[:])
+		}
+		return out[i].Nonce < out[j].Nonce
+	})
+	return out
+}
+
+// Content returns every buffered transaction in no particular order
+// (the txpool_content RPC view).
+func (p *Pool) Content() []*types.Transaction {
+	out := make([]*types.Transaction, 0, len(p.all))
+	for _, e := range p.all {
+		out = append(out, e.tx)
+	}
+	return out
+}
+
+// PendingPrices returns the gas prices of pending transactions; the
+// measurement node feeds this to the median estimator for Y (§5.2.1).
+func (p *Pool) PendingPrices() []uint64 {
+	out := make([]uint64, 0, p.pendingCount)
+	for _, e := range p.all {
+		if e.pending {
+			out = append(out, e.tx.GasPrice)
+		}
+	}
+	return out
+}
+
+// priceHeap is a min-heap of entries keyed by gas price, with index
+// maintenance for O(log n) removal.
+type priceHeap []*entry
+
+func (h priceHeap) Len() int { return len(h) }
+func (h priceHeap) Less(i, j int) bool {
+	if h[i].tx.GasPrice != h[j].tx.GasPrice {
+		return h[i].tx.GasPrice < h[j].tx.GasPrice
+	}
+	// Prefer evicting futures before pendings at equal price.
+	return !h[i].pending && h[j].pending
+}
+func (h priceHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx = i
+	h[j].heapIdx = j
+}
+func (h *priceHeap) Push(x interface{}) {
+	e := x.(*entry)
+	e.heapIdx = len(*h)
+	*h = append(*h, e)
+}
+func (h *priceHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	e.heapIdx = -1
+	*h = old[:n-1]
+	return e
+}

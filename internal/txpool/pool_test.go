@@ -1,0 +1,363 @@
+package txpool
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"toposhot/internal/types"
+)
+
+func acct(n uint64) types.Address { return types.AddressFromUint64(n) }
+
+func tx(from uint64, nonce, price uint64) *types.Transaction {
+	return types.NewTransaction(acct(from), acct(from+1_000_000), nonce, price, 0)
+}
+
+func small(capacity int) Policy {
+	return Geth.WithCapacity(capacity)
+}
+
+func TestPendingVsFutureClassification(t *testing.T) {
+	p := New(small(100))
+	if res := p.Offer(tx(1, 0, 100)); res.Status != StatusPending {
+		t.Fatalf("nonce 0 status = %v", res.Status)
+	}
+	if res := p.Offer(tx(1, 2, 100)); res.Status != StatusFuture {
+		t.Fatalf("gapped nonce status = %v", res.Status)
+	}
+	// Closing the gap promotes the future.
+	res := p.Offer(tx(1, 1, 100))
+	if res.Status != StatusPending {
+		t.Fatalf("gap filler status = %v", res.Status)
+	}
+	if len(res.Promoted) != 1 || res.Promoted[0].Nonce != 2 {
+		t.Fatalf("promotion missing: %v", res.Promoted)
+	}
+	if p.PendingCount() != 3 || p.FutureCount() != 0 {
+		t.Fatalf("counts: pending=%d future=%d", p.PendingCount(), p.FutureCount())
+	}
+}
+
+func TestDuplicateAndStale(t *testing.T) {
+	p := New(small(100))
+	a := tx(1, 0, 100)
+	p.Offer(a)
+	if res := p.Offer(a); res.Status != StatusKnown {
+		t.Fatalf("duplicate = %v", res.Status)
+	}
+	p.SetStateNonce(acct(1), 5)
+	if res := p.Offer(tx(1, 3, 100)); res.Status != StatusStaleNonce {
+		t.Fatalf("stale = %v", res.Status)
+	}
+}
+
+func TestReplacementThreshold(t *testing.T) {
+	p := New(small(100))
+	old := tx(1, 0, 1000)
+	p.Offer(old)
+	// 9.9% bump: rejected under Geth's 10%.
+	low := types.NewTransaction(acct(1), acct(2), 0, 1099, 0)
+	if res := p.Offer(low); res.Status != StatusUnderpriced {
+		t.Fatalf("underpriced bump = %v", res.Status)
+	}
+	// Exactly 10%: accepted.
+	ok := types.NewTransaction(acct(1), acct(2), 0, 1100, 0)
+	res := p.Offer(ok)
+	if res.Status != StatusReplaced {
+		t.Fatalf("replacement = %v", res.Status)
+	}
+	if res.Replaced == nil || res.Replaced.Hash() != old.Hash() {
+		t.Fatal("replaced tx not reported")
+	}
+	if p.Has(old.Hash()) {
+		t.Fatal("old tx still buffered")
+	}
+	if p.Len() != 1 {
+		t.Fatalf("len = %d", p.Len())
+	}
+}
+
+func TestReplacementOfFutureStaysFuture(t *testing.T) {
+	p := New(small(100))
+	p.Offer(tx(1, 5, 1000))
+	rep := types.NewTransaction(acct(1), acct(2), 5, 2000, 0)
+	if res := p.Offer(rep); res.Status != StatusReplaced {
+		t.Fatalf("future replacement = %v", res.Status)
+	}
+	if p.IsPending(rep.Hash()) {
+		t.Fatal("replaced future became pending")
+	}
+}
+
+func TestParityBumpRatio(t *testing.T) {
+	p := New(Parity.WithCapacity(100))
+	p.Offer(tx(1, 0, 1000))
+	if res := p.Offer(types.NewTransaction(acct(1), acct(2), 0, 1124, 0)); res.Status != StatusUnderpriced {
+		t.Fatalf("11.24%% bump accepted by Parity: %v", res.Status)
+	}
+	if res := p.Offer(types.NewTransaction(acct(1), acct(2), 0, 1125, 0)); res.Status != StatusReplaced {
+		t.Fatalf("12.5%% bump rejected by Parity: %v", res.Status)
+	}
+}
+
+func TestZeroBumpClients(t *testing.T) {
+	p := New(Aleth.WithCapacity(100))
+	p.Offer(tx(1, 0, 1000))
+	// Same price, different tx: replacement allowed under R=0.
+	if res := p.Offer(types.NewTransaction(acct(1), acct(2), 0, 1000, 1)); res.Status != StatusReplaced {
+		t.Fatalf("same-price replacement under R=0: %v", res.Status)
+	}
+}
+
+func TestFutureEvictionOfPending(t *testing.T) {
+	p := New(small(4))
+	// Fill with four pendings at prices 10..40.
+	for i := uint64(0); i < 4; i++ {
+		if !p.Offer(tx(10+i, 0, 10*(i+1))).Status.Admitted() {
+			t.Fatal("fill failed")
+		}
+	}
+	// Incoming future at 100 evicts the cheapest pending (price 10).
+	res := p.Offer(tx(99, 3, 100))
+	if res.Status != StatusFuture {
+		t.Fatalf("future admission = %v", res.Status)
+	}
+	if len(res.Evicted) != 1 || res.Evicted[0].GasPrice != 10 {
+		t.Fatalf("evicted = %v", res.Evicted)
+	}
+	// Incoming future priced below the floor is rejected.
+	if res := p.Offer(tx(98, 3, 15)); res.Status != StatusPoolFull {
+		t.Fatalf("cheap future = %v", res.Status)
+	}
+}
+
+func TestEvictionRespectsP(t *testing.T) {
+	pol := small(4)
+	pol.MinPendingForEviction = 10 // pending population always ≤ P
+	p := New(pol)
+	for i := uint64(0); i < 4; i++ {
+		p.Offer(tx(10+i, 0, 10*(i+1)))
+	}
+	if res := p.Offer(tx(99, 3, 100)); res.Status != StatusPoolFull {
+		t.Fatalf("eviction under P = %v", res.Status)
+	}
+}
+
+func TestPendingDisplacesFutureWhenFull(t *testing.T) {
+	p := New(small(3))
+	p.Offer(tx(1, 0, 50))
+	p.Offer(tx(2, 1, 500)) // future at high price
+	p.Offer(tx(3, 0, 60))
+	// Pool full. A cheap *pending* arrival displaces the future regardless
+	// of price (pending transactions are first-class).
+	res := p.Offer(tx(4, 0, 5))
+	if res.Status != StatusPending {
+		t.Fatalf("pending admission = %v", res.Status)
+	}
+	if len(res.Evicted) != 1 || res.Evicted[0].Nonce != 1 {
+		t.Fatalf("evicted = %v", res.Evicted)
+	}
+}
+
+func TestAccountFutureCapU(t *testing.T) {
+	pol := small(100)
+	pol.MaxFuturePerAccount = 3
+	p := New(pol)
+	for i := uint64(0); i < 3; i++ {
+		if !p.Offer(tx(1, i+2, 100)).Status.Admitted() {
+			t.Fatal("future admission failed")
+		}
+	}
+	if res := p.Offer(tx(1, 9, 100)); res.Status != StatusOverAccountCap {
+		t.Fatalf("over-cap = %v", res.Status)
+	}
+	// Other accounts unaffected.
+	if res := p.Offer(tx(2, 2, 100)); res.Status != StatusFuture {
+		t.Fatalf("other account = %v", res.Status)
+	}
+}
+
+func TestRemoveConfirmedAdvancesNonces(t *testing.T) {
+	p := New(small(100))
+	t0 := tx(1, 0, 100)
+	t1 := tx(1, 1, 100)
+	t2 := tx(1, 2, 100)
+	p.Offer(t0)
+	p.Offer(t2) // future
+	promoted := p.RemoveConfirmed([]*types.Transaction{t0, t1})
+	if p.Has(t0.Hash()) {
+		t.Fatal("confirmed tx still present")
+	}
+	if p.StateNonce(acct(1)) != 2 {
+		t.Fatalf("state nonce = %d", p.StateNonce(acct(1)))
+	}
+	if len(promoted) != 1 || promoted[0].Hash() != t2.Hash() {
+		t.Fatalf("promotion after confirm: %v", promoted)
+	}
+	if !p.IsPending(t2.Hash()) {
+		t.Fatal("t2 not pending after promotion")
+	}
+}
+
+func TestExpiry(t *testing.T) {
+	pol := small(100)
+	pol.Expiry = 10
+	p := New(pol)
+	a := tx(1, 0, 100)
+	p.Offer(a)
+	p.SetTime(5)
+	b := tx(2, 0, 100)
+	p.Offer(b)
+	p.SetTime(11) // a (age 11) expires; b (age 6) stays
+	if p.Has(a.Hash()) {
+		t.Fatal("expired tx still present")
+	}
+	if !p.Has(b.Hash()) {
+		t.Fatal("fresh tx dropped")
+	}
+}
+
+func TestExpiryDemotesDependents(t *testing.T) {
+	pol := small(100)
+	pol.Expiry = 10
+	p := New(pol)
+	p.Offer(tx(1, 0, 100))
+	p.SetTime(5)
+	later := tx(1, 1, 100)
+	p.Offer(later)
+	if !p.IsPending(later.Hash()) {
+		t.Fatal("nonce 1 should be pending")
+	}
+	p.SetTime(11) // nonce 0 expires → nonce 1 must demote to future
+	if !p.Has(later.Hash()) {
+		t.Fatal("nonce 1 dropped")
+	}
+	if p.IsPending(later.Hash()) {
+		t.Fatal("nonce 1 still pending after dependency expired")
+	}
+}
+
+func TestPendingOrderedByPrice(t *testing.T) {
+	p := New(small(100))
+	p.Offer(tx(1, 0, 10))
+	p.Offer(tx(2, 0, 30))
+	p.Offer(tx(3, 0, 20))
+	got := p.Pending()
+	if len(got) != 3 || got[0].GasPrice != 30 || got[2].GasPrice != 10 {
+		t.Fatalf("pending order wrong: %v", got)
+	}
+}
+
+func TestDropRemoves(t *testing.T) {
+	p := New(small(10))
+	a := tx(1, 0, 10)
+	p.Offer(a)
+	if !p.Drop(a.Hash()) {
+		t.Fatal("drop failed")
+	}
+	if p.Drop(a.Hash()) {
+		t.Fatal("double drop succeeded")
+	}
+	if p.Len() != 0 {
+		t.Fatal("pool not empty")
+	}
+}
+
+// invariantCheck verifies internal consistency of the pool counters.
+func invariantCheck(t *testing.T, p *Pool) {
+	t.Helper()
+	if p.PendingCount()+p.FutureCount() != p.Len() {
+		t.Fatalf("count invariant broken: %d + %d != %d",
+			p.PendingCount(), p.FutureCount(), p.Len())
+	}
+	if p.Len() > p.Policy().Capacity {
+		t.Fatalf("capacity exceeded: %d > %d", p.Len(), p.Policy().Capacity)
+	}
+}
+
+// TestRandomizedInvariants hammers the pool with random offers and checks
+// the structural invariants throughout — the core property test.
+func TestRandomizedInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pol := small(64)
+	pol.MaxFuturePerAccount = 8
+	p := New(pol)
+	for i := 0; i < 20000; i++ {
+		from := uint64(rng.Intn(24))
+		nonce := uint64(rng.Intn(12))
+		price := uint64(1 + rng.Intn(1000))
+		res := p.Offer(tx(from, nonce, price))
+		_ = res
+		if i%500 == 0 {
+			invariantCheck(t, p)
+			p.SetTime(float64(i) / 100)
+		}
+		if rng.Intn(50) == 0 {
+			p.RemoveConfirmed(p.Pending()[:min(len(p.Pending()), 3)])
+			invariantCheck(t, p)
+		}
+	}
+	invariantCheck(t, p)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TestPendingContiguity: every pending transaction's nonce range from the
+// state nonce must be fully present — the defining property of "pending".
+func TestPendingContiguity(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	p := New(small(128))
+	for i := 0; i < 5000; i++ {
+		from := uint64(rng.Intn(8))
+		p.Offer(tx(from, uint64(rng.Intn(10)), uint64(1+rng.Intn(100))))
+	}
+	for _, ptx := range p.Pending() {
+		for n := p.StateNonce(ptx.From); n < ptx.Nonce; n++ {
+			if p.GetBySenderNonce(ptx.From, n) == nil {
+				t.Fatalf("pending %v#%d has gap at nonce %d", ptx.From, ptx.Nonce, n)
+			}
+		}
+	}
+}
+
+func TestReplaceThresholdQuick(t *testing.T) {
+	f := func(price uint32) bool {
+		if price == 0 {
+			return true
+		}
+		th := Geth.ReplaceThreshold(uint64(price))
+		// Threshold must be the minimal integer at least 10% above
+		// (integer arithmetic: th·10 ≥ price·11 > (th−1)·10).
+		return th*10 >= uint64(price)*11 && (th-1)*10 < uint64(price)*11
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClientByName(t *testing.T) {
+	for _, c := range AllClients {
+		got, ok := ClientByName(c.Name)
+		if !ok || got.Capacity != c.Capacity {
+			t.Errorf("ClientByName(%q) failed", c.Name)
+		}
+	}
+	if _, ok := ClientByName("nope"); ok {
+		t.Error("unknown client resolved")
+	}
+}
+
+func TestMeasurable(t *testing.T) {
+	if !Geth.Measurable() || !Parity.Measurable() || !Besu.Measurable() {
+		t.Error("non-zero-R clients should be measurable")
+	}
+	if Nethermind.Measurable() || Aleth.Measurable() {
+		t.Error("zero-R clients should not be measurable")
+	}
+}

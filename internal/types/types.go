@@ -1,0 +1,260 @@
+// Package types defines the fundamental Ethereum-like data types used across
+// the TopoShot reproduction: addresses, hashes, transactions and blocks.
+//
+// The types mirror the subset of the Ethereum data model that TopoShot's
+// measurement logic depends on: an account-based transaction model where each
+// transaction carries a sender address, a per-sender monotonically increasing
+// nonce, a gas allowance and a gas price. Cryptographic signatures are out of
+// scope for topology measurement, so transactions are identified by a
+// collision-resistant hash of their contents (SHA-256 based) instead of a
+// secp256k1 signature; the sender address is carried explicitly.
+package types
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+)
+
+// AddressLength is the length of an address in bytes, as in Ethereum.
+const AddressLength = 20
+
+// HashLength is the length of a hash in bytes.
+const HashLength = 32
+
+// Address is a 20-byte account or node identifier.
+type Address [AddressLength]byte
+
+// Hash is a 32-byte digest identifying transactions and blocks.
+type Hash [HashLength]byte
+
+// Gwei is a gas price unit: 1 Gwei = 1e9 Wei. Prices in this codebase are
+// expressed in Wei so that fractional-Gwei replacement thresholds (for
+// example a 12.5% bump on 0.1 Gwei) stay exact in integer arithmetic.
+const Gwei = uint64(1_000_000_000)
+
+// Ether expressed in Wei. Note that uint64 cannot hold large Ether amounts;
+// cost accounting uses big-free float64 summaries instead (see internal/cost).
+const Ether = uint64(1_000_000_000_000_000_000)
+
+// BytesToAddress converts a byte slice to an Address, left-padding or
+// truncating to AddressLength.
+func BytesToAddress(b []byte) Address {
+	var a Address
+	if len(b) > AddressLength {
+		b = b[len(b)-AddressLength:]
+	}
+	copy(a[AddressLength-len(b):], b)
+	return a
+}
+
+// AddressFromUint64 derives a deterministic address from an integer seed.
+// It is used by simulators and tests to mint distinct accounts cheaply; the
+// seed is spread with a 64-bit mixer (no hashing — simulators mint millions
+// of accounts) and embedded in the low bytes.
+func AddressFromUint64(n uint64) Address {
+	var a Address
+	mixed := n
+	mixed ^= mixed >> 33
+	mixed *= 0xff51afd7ed558ccd
+	mixed ^= mixed >> 33
+	binary.BigEndian.PutUint64(a[0:8], mixed)
+	binary.BigEndian.PutUint64(a[12:20], n)
+	return a
+}
+
+// Hex returns the 0x-prefixed hexadecimal form of the address.
+func (a Address) Hex() string { return "0x" + hex.EncodeToString(a[:]) }
+
+// String implements fmt.Stringer with a shortened display form.
+func (a Address) String() string {
+	h := hex.EncodeToString(a[:])
+	return "0x" + h[:8] + "…" + h[len(h)-4:]
+}
+
+// IsZero reports whether the address is all zeroes.
+func (a Address) IsZero() bool { return a == Address{} }
+
+// Bytes returns the address as a byte slice.
+func (a Address) Bytes() []byte { return a[:] }
+
+// BytesToHash converts a byte slice to a Hash, left-padding or truncating.
+func BytesToHash(b []byte) Hash {
+	var h Hash
+	if len(b) > HashLength {
+		b = b[len(b)-HashLength:]
+	}
+	copy(h[HashLength-len(b):], b)
+	return h
+}
+
+// Hex returns the 0x-prefixed hexadecimal form of the hash.
+func (h Hash) Hex() string { return "0x" + hex.EncodeToString(h[:]) }
+
+// String implements fmt.Stringer with a shortened display form.
+func (h Hash) String() string {
+	s := hex.EncodeToString(h[:])
+	return "0x" + s[:8] + "…"
+}
+
+// IsZero reports whether the hash is all zeroes.
+func (h Hash) IsZero() bool { return h == Hash{} }
+
+// Bytes returns the hash as a byte slice.
+func (h Hash) Bytes() []byte { return h[:] }
+
+// Transaction is an account-model transaction. Gas prices are in Wei.
+//
+// A transaction is immutable after creation; Hash() memoizes the digest on
+// first use, so a *Transaction must not be mutated once shared.
+type Transaction struct {
+	From     Address // sender account (explicit; no signature recovery)
+	To       Address // receiver account
+	Nonce    uint64  // per-sender sequence number
+	GasPrice uint64  // Wei per gas unit the sender bids (fee cap under EIP-1559)
+	Gas      uint64  // gas allowance (21000 for a plain transfer)
+	Value    uint64  // Wei transferred
+	Data     []byte  // optional payload
+
+	// Tip is the EIP-1559 priority fee (max tip to the miner). A zero Tip
+	// on a transaction with DynamicFee unset means a legacy transaction
+	// whose GasPrice is both cap and tip.
+	Tip uint64
+	// DynamicFee marks an EIP-1559 (type-2) transaction: GasPrice is the
+	// fee cap and Tip the priority fee.
+	DynamicFee bool
+
+	hash Hash // memoized digest; zero until first Hash() call
+}
+
+// TxGasTransfer is the intrinsic gas of a plain value transfer.
+const TxGasTransfer = 21000
+
+// NewTransaction constructs a plain value-transfer transaction.
+func NewTransaction(from, to Address, nonce, gasPrice, value uint64) *Transaction {
+	return &Transaction{From: from, To: to, Nonce: nonce, GasPrice: gasPrice, Gas: TxGasTransfer, Value: value}
+}
+
+// Hash returns the content digest of the transaction, computing and
+// memoizing it on first call.
+func (tx *Transaction) Hash() Hash {
+	if !tx.hash.IsZero() {
+		return tx.hash
+	}
+	h := sha256.New()
+	h.Write(tx.From[:])
+	h.Write(tx.To[:])
+	var buf [8]byte
+	dyn := uint64(0)
+	if tx.DynamicFee {
+		dyn = 1
+	}
+	for _, v := range []uint64{tx.Nonce, tx.GasPrice, tx.Gas, tx.Value, tx.Tip, dyn} {
+		binary.BigEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	h.Write(tx.Data)
+	tx.hash = BytesToHash(h.Sum(nil))
+	return tx.hash
+}
+
+// Fee returns the maximum fee the transaction can pay (Gas × GasPrice).
+func (tx *Transaction) Fee() uint64 { return tx.Gas * tx.GasPrice }
+
+// FeeCap returns the maximum per-gas price the sender will pay: the
+// EIP-1559 fee cap for dynamic-fee transactions, the gas price otherwise.
+func (tx *Transaction) FeeCap() uint64 { return tx.GasPrice }
+
+// EffectiveTip returns what the miner earns per gas at the given base fee:
+// min(tip, feeCap − baseFee) for dynamic-fee transactions, gasPrice −
+// baseFee for legacy ones; 0 when the cap is below the base fee.
+func (tx *Transaction) EffectiveTip(baseFee uint64) uint64 {
+	if tx.FeeCap() < baseFee {
+		return 0
+	}
+	headroom := tx.FeeCap() - baseFee
+	if tx.DynamicFee && tx.Tip < headroom {
+		return tx.Tip
+	}
+	return headroom
+}
+
+// NewDynamicFeeTransaction constructs an EIP-1559 transfer with the given
+// fee cap and priority fee.
+func NewDynamicFeeTransaction(from, to Address, nonce, feeCap, tip, value uint64) *Transaction {
+	return &Transaction{
+		From: from, To: to, Nonce: nonce,
+		GasPrice: feeCap, Tip: tip, DynamicFee: true,
+		Gas: TxGasTransfer, Value: value,
+	}
+}
+
+// String renders a compact human-readable description.
+func (tx *Transaction) String() string {
+	return fmt.Sprintf("tx{%v#%d @%dwei %v}", tx.From, tx.Nonce, tx.GasPrice, tx.Hash())
+}
+
+// Copy returns a deep copy of the transaction (fresh hash memo included, so
+// the copy is safe to mutate before first Hash call).
+func (tx *Transaction) Copy() *Transaction {
+	cp := *tx
+	cp.Data = append([]byte(nil), tx.Data...)
+	return &cp
+}
+
+// Block is a mined block: an ordered list of included transactions under a
+// gas limit. Headers carry only the fields the reproduction needs.
+type Block struct {
+	Number   uint64
+	Miner    Address
+	Time     float64 // simulation timestamp (seconds)
+	GasLimit uint64
+	GasUsed  uint64
+	Txs      []*Transaction
+}
+
+// DefaultBlockGasLimit approximates the mainnet gas limit of the paper's
+// measurement period (~12.5M).
+const DefaultBlockGasLimit = 12_500_000
+
+// Full reports whether the block is "full" in the V1 sense of Appendix C:
+// the residual gas cannot fit one more plain transfer.
+func (b *Block) Full() bool { return b.GasLimit-b.GasUsed < TxGasTransfer }
+
+// MinGasPrice returns the lowest gas price among included transactions and
+// true, or 0 and false for an empty block.
+func (b *Block) MinGasPrice() (uint64, bool) {
+	if len(b.Txs) == 0 {
+		return 0, false
+	}
+	min := b.Txs[0].GasPrice
+	for _, tx := range b.Txs[1:] {
+		if tx.GasPrice < min {
+			min = tx.GasPrice
+		}
+	}
+	return min, true
+}
+
+// Hash returns the block digest over its header fields and tx hashes.
+func (b *Block) Hash() Hash {
+	h := sha256.New()
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], b.Number)
+	h.Write(buf[:])
+	h.Write(b.Miner[:])
+	binary.BigEndian.PutUint64(buf[:], b.GasLimit)
+	h.Write(buf[:])
+	for _, tx := range b.Txs {
+		th := tx.Hash()
+		h.Write(th[:])
+	}
+	return BytesToHash(h.Sum(nil))
+}
+
+// NodeID identifies a P2P node (distinct from account addresses).
+type NodeID uint32
+
+// String implements fmt.Stringer.
+func (id NodeID) String() string { return fmt.Sprintf("n%d", uint32(id)) }

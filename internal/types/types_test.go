@@ -1,0 +1,138 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddressRoundTrip(t *testing.T) {
+	a := BytesToAddress([]byte{1, 2, 3})
+	if a.IsZero() {
+		t.Fatal("non-zero address reported zero")
+	}
+	if got := BytesToAddress(a.Bytes()); got != a {
+		t.Fatalf("round trip changed address: %v != %v", got, a)
+	}
+	long := make([]byte, 40)
+	long[39] = 7
+	if got := BytesToAddress(long); got[AddressLength-1] != 7 {
+		t.Fatalf("truncation kept wrong bytes: %v", got)
+	}
+}
+
+func TestAddressFromUint64Distinct(t *testing.T) {
+	seen := make(map[Address]uint64)
+	for i := uint64(0); i < 10000; i++ {
+		a := AddressFromUint64(i)
+		if prev, dup := seen[a]; dup {
+			t.Fatalf("collision: %d and %d → %v", prev, i, a)
+		}
+		seen[a] = i
+	}
+}
+
+func TestAddressFromUint64Deterministic(t *testing.T) {
+	f := func(n uint64) bool {
+		return AddressFromUint64(n) == AddressFromUint64(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashHexAndZero(t *testing.T) {
+	var h Hash
+	if !h.IsZero() {
+		t.Fatal("zero hash not zero")
+	}
+	h = BytesToHash([]byte{0xab})
+	if h.IsZero() {
+		t.Fatal("non-zero hash zero")
+	}
+	if h.Hex()[:2] != "0x" {
+		t.Fatalf("hex missing prefix: %s", h.Hex())
+	}
+}
+
+func TestTransactionHashMemoizedAndUnique(t *testing.T) {
+	tx := NewTransaction(AddressFromUint64(1), AddressFromUint64(2), 0, 100, 5)
+	h1 := tx.Hash()
+	h2 := tx.Hash()
+	if h1 != h2 {
+		t.Fatal("hash not stable")
+	}
+	// Any field change must change the hash.
+	variants := []*Transaction{
+		NewTransaction(AddressFromUint64(9), AddressFromUint64(2), 0, 100, 5),
+		NewTransaction(AddressFromUint64(1), AddressFromUint64(9), 0, 100, 5),
+		NewTransaction(AddressFromUint64(1), AddressFromUint64(2), 1, 100, 5),
+		NewTransaction(AddressFromUint64(1), AddressFromUint64(2), 0, 101, 5),
+		NewTransaction(AddressFromUint64(1), AddressFromUint64(2), 0, 100, 6),
+	}
+	for i, v := range variants {
+		if v.Hash() == h1 {
+			t.Errorf("variant %d hash collided", i)
+		}
+	}
+}
+
+func TestTransactionHashQuick(t *testing.T) {
+	f := func(fromSeed, toSeed, nonce, price, value uint64) bool {
+		a := NewTransaction(AddressFromUint64(fromSeed), AddressFromUint64(toSeed), nonce, price, value)
+		b := NewTransaction(AddressFromUint64(fromSeed), AddressFromUint64(toSeed), nonce, price, value)
+		return a.Hash() == b.Hash()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransactionCopyIndependent(t *testing.T) {
+	tx := NewTransaction(AddressFromUint64(1), AddressFromUint64(2), 3, 4, 5)
+	tx.Data = []byte{1, 2, 3}
+	cp := tx.Copy()
+	cp.Data[0] = 9
+	if tx.Data[0] == 9 {
+		t.Fatal("copy shares data slice")
+	}
+}
+
+func TestTransactionFee(t *testing.T) {
+	tx := NewTransaction(AddressFromUint64(1), AddressFromUint64(2), 0, 3, 0)
+	if tx.Fee() != 3*TxGasTransfer {
+		t.Fatalf("fee = %d, want %d", tx.Fee(), 3*TxGasTransfer)
+	}
+}
+
+func TestBlockFullAndMinPrice(t *testing.T) {
+	b := &Block{GasLimit: 2 * TxGasTransfer}
+	if b.Full() {
+		t.Fatal("empty block full")
+	}
+	if _, ok := b.MinGasPrice(); ok {
+		t.Fatal("empty block has min price")
+	}
+	b.Txs = append(b.Txs,
+		NewTransaction(AddressFromUint64(1), AddressFromUint64(2), 0, 50, 0),
+		NewTransaction(AddressFromUint64(3), AddressFromUint64(4), 0, 20, 0),
+	)
+	b.GasUsed = 2 * TxGasTransfer
+	if !b.Full() {
+		t.Fatal("packed block not full")
+	}
+	min, ok := b.MinGasPrice()
+	if !ok || min != 20 {
+		t.Fatalf("min price = %d (%v), want 20", min, ok)
+	}
+}
+
+func TestBlockHashChangesWithContents(t *testing.T) {
+	mk := func(n uint64) *Block {
+		return &Block{Number: n, GasLimit: 1000, Txs: []*Transaction{
+			NewTransaction(AddressFromUint64(n), AddressFromUint64(2), 0, 1, 0),
+		}}
+	}
+	if mk(1).Hash() == mk(2).Hash() {
+		t.Fatal("different blocks share hash")
+	}
+}

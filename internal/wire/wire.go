@@ -1,0 +1,253 @@
+// Package wire defines the devp2p-lite message codec used by the live TCP
+// node (internal/node): RLP-encoded payloads in length-prefixed frames.
+//
+// The message set is the eth-protocol subset TopoShot interacts with:
+//
+//	Status                     — handshake: protocol version and network id
+//	Transactions               — full transaction push (batched)
+//	NewPooledTransactionHashes — announcement
+//	GetPooledTransactions      — announcement response request
+//	PooledTransactions         — requested transaction bodies
+//
+// Frame layout: 4-byte big-endian payload length, 1-byte message code,
+// RLP payload. Frames are capped at MaxFrameSize.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"toposhot/internal/rlp"
+	"toposhot/internal/types"
+)
+
+// Message codes.
+const (
+	CodeStatus byte = iota
+	CodeTransactions
+	CodeNewPooledTransactionHashes
+	CodeGetPooledTransactions
+	CodePooledTransactions
+	CodeDisconnect
+)
+
+// MaxFrameSize bounds a frame payload (sanity cap against corrupt peers).
+const MaxFrameSize = 16 << 20
+
+// ProtocolVersion is the handshake protocol version.
+const ProtocolVersion = 66
+
+// Status is the handshake message.
+type Status struct {
+	ProtocolVersion uint64
+	NetworkID       uint64
+	ClientVersion   string
+}
+
+// Msg is a decoded wire message.
+type Msg struct {
+	Code byte
+
+	// Status is set for CodeStatus.
+	Status Status
+	// Txs is set for CodeTransactions and CodePooledTransactions.
+	Txs []*types.Transaction
+	// Hashes is set for CodeNewPooledTransactionHashes and
+	// CodeGetPooledTransactions.
+	Hashes []types.Hash
+	// Reason is set for CodeDisconnect.
+	Reason string
+}
+
+// txToRLP converts a transaction to its RLP item form
+// [from, to, nonce, gasPrice, gas, value, data].
+func txToRLP(tx *types.Transaction) rlp.Item {
+	return rlp.List(
+		rlp.Bytes(tx.From[:]),
+		rlp.Bytes(tx.To[:]),
+		rlp.Uint(tx.Nonce),
+		rlp.Uint(tx.GasPrice),
+		rlp.Uint(tx.Gas),
+		rlp.Uint(tx.Value),
+		rlp.Bytes(tx.Data),
+	)
+}
+
+// txFromRLP parses a transaction item.
+func txFromRLP(it rlp.Item) (*types.Transaction, error) {
+	fields, err := it.AsList()
+	if err != nil {
+		return nil, err
+	}
+	if len(fields) != 7 {
+		return nil, fmt.Errorf("wire: transaction with %d fields", len(fields))
+	}
+	fromB, err := fields[0].AsBytes()
+	if err != nil {
+		return nil, err
+	}
+	toB, err := fields[1].AsBytes()
+	if err != nil {
+		return nil, err
+	}
+	if len(fromB) != types.AddressLength || len(toB) != types.AddressLength {
+		return nil, errors.New("wire: bad address length")
+	}
+	nonce, err := fields[2].AsUint()
+	if err != nil {
+		return nil, err
+	}
+	gasPrice, err := fields[3].AsUint()
+	if err != nil {
+		return nil, err
+	}
+	gas, err := fields[4].AsUint()
+	if err != nil {
+		return nil, err
+	}
+	value, err := fields[5].AsUint()
+	if err != nil {
+		return nil, err
+	}
+	data, err := fields[6].AsBytes()
+	if err != nil {
+		return nil, err
+	}
+	tx := &types.Transaction{
+		From:     types.BytesToAddress(fromB),
+		To:       types.BytesToAddress(toB),
+		Nonce:    nonce,
+		GasPrice: gasPrice,
+		Gas:      gas,
+		Value:    value,
+		Data:     append([]byte(nil), data...),
+	}
+	return tx, nil
+}
+
+// encodePayload builds the RLP payload for a message.
+func encodePayload(m Msg) (rlp.Item, error) {
+	switch m.Code {
+	case CodeStatus:
+		return rlp.List(
+			rlp.Uint(m.Status.ProtocolVersion),
+			rlp.Uint(m.Status.NetworkID),
+			rlp.String(m.Status.ClientVersion),
+		), nil
+	case CodeTransactions, CodePooledTransactions:
+		items := make([]rlp.Item, len(m.Txs))
+		for i, tx := range m.Txs {
+			items[i] = txToRLP(tx)
+		}
+		return rlp.List(items...), nil
+	case CodeNewPooledTransactionHashes, CodeGetPooledTransactions:
+		items := make([]rlp.Item, len(m.Hashes))
+		for i, h := range m.Hashes {
+			items[i] = rlp.Bytes(h[:])
+		}
+		return rlp.List(items...), nil
+	case CodeDisconnect:
+		return rlp.List(rlp.String(m.Reason)), nil
+	default:
+		return rlp.Item{}, fmt.Errorf("wire: unknown code %d", m.Code)
+	}
+}
+
+// decodePayload parses the RLP payload for a message code.
+func decodePayload(code byte, payload []byte) (Msg, error) {
+	m := Msg{Code: code}
+	it, err := rlp.Decode(payload)
+	if err != nil {
+		return m, err
+	}
+	fields, err := it.AsList()
+	if err != nil {
+		return m, err
+	}
+	switch code {
+	case CodeStatus:
+		if len(fields) != 3 {
+			return m, fmt.Errorf("wire: status with %d fields", len(fields))
+		}
+		if m.Status.ProtocolVersion, err = fields[0].AsUint(); err != nil {
+			return m, err
+		}
+		if m.Status.NetworkID, err = fields[1].AsUint(); err != nil {
+			return m, err
+		}
+		b, err := fields[2].AsBytes()
+		if err != nil {
+			return m, err
+		}
+		m.Status.ClientVersion = string(b)
+	case CodeTransactions, CodePooledTransactions:
+		for _, f := range fields {
+			tx, err := txFromRLP(f)
+			if err != nil {
+				return m, err
+			}
+			m.Txs = append(m.Txs, tx)
+		}
+	case CodeNewPooledTransactionHashes, CodeGetPooledTransactions:
+		for _, f := range fields {
+			b, err := f.AsBytes()
+			if err != nil {
+				return m, err
+			}
+			if len(b) != types.HashLength {
+				return m, errors.New("wire: bad hash length")
+			}
+			m.Hashes = append(m.Hashes, types.BytesToHash(b))
+		}
+	case CodeDisconnect:
+		if len(fields) > 0 {
+			b, err := fields[0].AsBytes()
+			if err != nil {
+				return m, err
+			}
+			m.Reason = string(b)
+		}
+	default:
+		return m, fmt.Errorf("wire: unknown code %d", code)
+	}
+	return m, nil
+}
+
+// WriteMsg frames and writes a message to w.
+func WriteMsg(w io.Writer, m Msg) error {
+	payloadItem, err := encodePayload(m)
+	if err != nil {
+		return err
+	}
+	payload := rlp.Encode(payloadItem)
+	if len(payload) > MaxFrameSize {
+		return fmt.Errorf("wire: frame too large (%d bytes)", len(payload))
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = m.Code
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}
+
+// ReadMsg reads and decodes one framed message from r.
+func ReadMsg(r io.Reader) (Msg, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Msg{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n > MaxFrameSize {
+		return Msg{}, fmt.Errorf("wire: oversized frame (%d bytes)", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Msg{}, err
+	}
+	return decodePayload(hdr[4], payload)
+}

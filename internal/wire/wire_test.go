@@ -1,0 +1,188 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"toposhot/internal/types"
+)
+
+func sampleTx(seed uint64) *types.Transaction {
+	tx := types.NewTransaction(
+		types.AddressFromUint64(seed),
+		types.AddressFromUint64(seed+1),
+		seed%7, seed*3+1, seed%5)
+	tx.Data = []byte{byte(seed), byte(seed >> 8)}
+	return tx
+}
+
+func roundTrip(t *testing.T, m Msg) Msg {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteMsg(&buf, m); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := ReadMsg(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	return got
+}
+
+func TestStatusRoundTrip(t *testing.T) {
+	m := Msg{Code: CodeStatus, Status: Status{
+		ProtocolVersion: ProtocolVersion,
+		NetworkID:       1337,
+		ClientVersion:   "geth-lite/test",
+	}}
+	got := roundTrip(t, m)
+	if got.Status != m.Status {
+		t.Fatalf("status mismatch: %+v vs %+v", got.Status, m.Status)
+	}
+}
+
+func TestTransactionsRoundTrip(t *testing.T) {
+	m := Msg{Code: CodeTransactions}
+	for i := uint64(0); i < 10; i++ {
+		m.Txs = append(m.Txs, sampleTx(i))
+	}
+	got := roundTrip(t, m)
+	if len(got.Txs) != 10 {
+		t.Fatalf("tx count = %d", len(got.Txs))
+	}
+	for i, tx := range got.Txs {
+		if tx.Hash() != m.Txs[i].Hash() {
+			t.Fatalf("tx %d hash changed across the wire", i)
+		}
+	}
+}
+
+func TestHashesRoundTrip(t *testing.T) {
+	for _, code := range []byte{CodeNewPooledTransactionHashes, CodeGetPooledTransactions} {
+		m := Msg{Code: code}
+		for i := uint64(0); i < 5; i++ {
+			m.Hashes = append(m.Hashes, sampleTx(i).Hash())
+		}
+		got := roundTrip(t, m)
+		if len(got.Hashes) != 5 {
+			t.Fatalf("code %d: hashes = %d", code, len(got.Hashes))
+		}
+		for i := range got.Hashes {
+			if got.Hashes[i] != m.Hashes[i] {
+				t.Fatalf("code %d: hash %d mismatch", code, i)
+			}
+		}
+	}
+}
+
+func TestDisconnectRoundTrip(t *testing.T) {
+	got := roundTrip(t, Msg{Code: CodeDisconnect, Reason: "too many peers"})
+	if got.Reason != "too many peers" {
+		t.Fatalf("reason = %q", got.Reason)
+	}
+}
+
+func TestEmptyMessages(t *testing.T) {
+	for _, code := range []byte{CodeTransactions, CodeNewPooledTransactionHashes} {
+		got := roundTrip(t, Msg{Code: code})
+		if len(got.Txs) != 0 || len(got.Hashes) != 0 {
+			t.Fatalf("empty message round trip grew: %+v", got)
+		}
+	}
+}
+
+func TestStreamOfMessages(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []Msg{
+		{Code: CodeStatus, Status: Status{ProtocolVersion: 66, NetworkID: 1, ClientVersion: "x"}},
+		{Code: CodeTransactions, Txs: []*types.Transaction{sampleTx(1)}},
+		{Code: CodeDisconnect, Reason: "bye"},
+	}
+	for _, m := range msgs {
+		if err := WriteMsg(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range msgs {
+		got, err := ReadMsg(&buf)
+		if err != nil {
+			t.Fatalf("msg %d: %v", i, err)
+		}
+		if got.Code != msgs[i].Code {
+			t.Fatalf("msg %d code = %d", i, got.Code)
+		}
+	}
+	if _, err := ReadMsg(&buf); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestReadRejectsOversizedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, CodeStatus})
+	if _, err := ReadMsg(&buf); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestReadTruncatedFrame(t *testing.T) {
+	var full bytes.Buffer
+	if err := WriteMsg(&full, Msg{Code: CodeTransactions, Txs: []*types.Transaction{sampleTx(3)}}); err != nil {
+		t.Fatal(err)
+	}
+	raw := full.Bytes()
+	for cut := 1; cut < len(raw); cut += 7 {
+		if _, err := ReadMsg(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestUnknownCodeRejected(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 1, 0x7f, 0xc0})
+	if _, err := ReadMsg(&buf); err == nil {
+		t.Fatal("unknown code accepted")
+	}
+}
+
+func TestGarbageNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = ReadMsg(bytes.NewReader(data))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransactionFieldFidelity(t *testing.T) {
+	f := func(from, to, nonce, price, gas, value uint64, data []byte) bool {
+		tx := &types.Transaction{
+			From:     types.AddressFromUint64(from),
+			To:       types.AddressFromUint64(to),
+			Nonce:    nonce,
+			GasPrice: price,
+			Gas:      gas,
+			Value:    value,
+			Data:     data,
+		}
+		var buf bytes.Buffer
+		if err := WriteMsg(&buf, Msg{Code: CodeTransactions, Txs: []*types.Transaction{tx}}); err != nil {
+			return false
+		}
+		got, err := ReadMsg(&buf)
+		if err != nil || len(got.Txs) != 1 {
+			return false
+		}
+		g := got.Txs[0]
+		return g.From == tx.From && g.To == tx.To && g.Nonce == nonce &&
+			g.GasPrice == price && g.Gas == gas && g.Value == value &&
+			bytes.Equal(g.Data, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
