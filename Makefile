@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build vet test race check bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is what CI runs: build, vet, and the full race-enabled test suite.
+check: build vet race
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .

@@ -16,8 +16,10 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"toposhot/internal/experiments"
+	"toposhot/internal/metrics"
 	"toposhot/internal/txpool"
 )
 
@@ -156,7 +158,20 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments")
 	run := flag.String("run", "", "comma-separated experiment names, or 'all'")
 	seed := flag.Int64("seed", 42, "simulation seed")
+	withMetrics := flag.Bool("metrics", false, "print periodic progress lines and a final metrics snapshot to stderr")
+	metricsEvery := flag.Duration("metrics-interval", 10*time.Second, "progress line interval under -metrics")
 	flag.Parse()
+
+	if *withMetrics {
+		reg := metrics.NewRegistry()
+		metrics.Enable(reg) // networks, pools, and measurers self-wire
+		progress := metrics.StartProgress(reg, os.Stderr, *metricsEvery)
+		defer progress.Stop()
+		defer func() {
+			fmt.Fprintln(os.Stderr, "final metrics snapshot:")
+			_ = reg.WriteJSON(os.Stderr)
+		}()
+	}
 
 	rs := runners()
 	if *list || *run == "" {

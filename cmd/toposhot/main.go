@@ -15,9 +15,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"toposhot/internal/core"
 	"toposhot/internal/ethsim"
+	"toposhot/internal/metrics"
 	"toposhot/internal/netgen"
 	"toposhot/internal/txpool"
 	"toposhot/internal/types"
@@ -30,7 +32,21 @@ func main() {
 	preset := flag.String("preset", "", "testnet preset: ropsten|rinkeby|goerli (overrides -n)")
 	out := flag.String("out", "", "output file (default stdout)")
 	uniform := flag.Bool("uniform", false, "all-default nodes (no heterogeneity)")
+	withMetrics := flag.Bool("metrics", false, "print periodic progress lines and a final metrics snapshot to stderr")
+	metricsEvery := flag.Duration("metrics-interval", 10*time.Second, "progress line interval under -metrics")
 	flag.Parse()
+
+	var reg *metrics.Registry
+	if *withMetrics {
+		reg = metrics.NewRegistry()
+		metrics.Enable(reg) // the network, pools, and measurer self-wire
+		progress := metrics.StartProgress(reg, os.Stderr, *metricsEvery)
+		defer progress.Stop()
+		defer func() {
+			fmt.Fprintln(os.Stderr, "final metrics snapshot:")
+			_ = reg.WriteJSON(os.Stderr)
+		}()
+	}
 
 	grow := netgen.RopstenConfig.WithSeed(*seed).WithN(*n)
 	switch *preset {

@@ -6,17 +6,24 @@
 //
 //	toposhotd -listen 127.0.0.1:30311 -network 1337
 //	toposhotd -listen 127.0.0.1:30312 -peers 127.0.0.1:30311
+//	toposhotd -listen 127.0.0.1:30311 -metrics-http 127.0.0.1:9311
+//
+// With -metrics-http the daemon serves a JSON snapshot of every node,
+// txpool, and per-peer instrument at GET /metrics.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"toposhot/internal/metrics"
 	"toposhot/internal/node"
 	"toposhot/internal/txpool"
 )
@@ -28,6 +35,9 @@ func main() {
 	client := flag.String("client", "geth", "mempool policy: geth|parity|nethermind|besu|aleth")
 	capacity := flag.Int("capacity", 0, "override mempool capacity (0 = client default)")
 	version := flag.String("version", "", "client version override")
+	metricsHTTP := flag.String("metrics-http", "", "serve a JSON /metrics endpoint on this address (empty = off)")
+	readIdle := flag.Duration("read-idle", 0, "idle read deadline per peer (0 = default, negative = disabled)")
+	writeTimeout := flag.Duration("write-timeout", 0, "per-frame write deadline per peer (0 = default, negative = disabled)")
 	flag.Parse()
 
 	pol, ok := txpool.ClientByName(*client)
@@ -42,11 +52,15 @@ func main() {
 	if *version != "" {
 		cv = *version
 	}
+	reg := metrics.NewRegistry()
 	n, err := node.Start(node.Config{
-		ClientVersion: cv,
-		NetworkID:     *networkID,
-		Policy:        pol,
-		Seed:          time.Now().UnixNano(),
+		ClientVersion:   cv,
+		NetworkID:       *networkID,
+		Policy:          pol,
+		Seed:            time.Now().UnixNano(),
+		ReadIdleTimeout: *readIdle,
+		WriteTimeout:    *writeTimeout,
+		Metrics:         reg,
 	}, *listen)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "start: %v\n", err)
@@ -54,6 +68,30 @@ func main() {
 	}
 	fmt.Printf("toposhotd listening on %s (network %d, client %s, pool %d)\n",
 		n.Addr(), *networkID, *client, pol.Capacity)
+
+	if *metricsHTTP != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			if err := reg.WriteJSON(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+		mux.HandleFunc("/peers", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(n.PeerStats())
+		})
+		srv := &http.Server{Addr: *metricsHTTP, Handler: mux}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "metrics http: %v\n", err)
+			}
+		}()
+		defer srv.Close()
+		fmt.Printf("metrics at http://%s/metrics (per-peer stats at /peers)\n", *metricsHTTP)
+	}
 
 	for _, p := range strings.Split(*peers, ",") {
 		p = strings.TrimSpace(p)
@@ -79,8 +117,11 @@ func main() {
 			return
 		case <-ticker.C:
 			total, pending, future := n.PoolStats()
-			fmt.Printf("peers=%d pool=%d (pending=%d future=%d)\n",
-				n.PeerCount(), total, pending, future)
+			s := reg.Snapshot()
+			fmt.Printf("peers=%d pool=%d (pending=%d future=%d) frames in/out=%d/%d drops(stall=%d idle=%d)\n",
+				n.PeerCount(), total, pending, future,
+				s.Counters["node.frames.in"], s.Counters["node.frames.out"],
+				s.Counters["node.write_stall_drops"], s.Counters["node.idle_disconnects"])
 		}
 	}
 }

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"toposhot/internal/metrics"
+	"toposhot/internal/types"
+)
+
+// campaignRun captures everything a measurement campaign produces that must
+// be a pure function of the seed.
+type campaignRun struct {
+	detected  [][2]types.NodeID
+	msgCount  map[string]int
+	duration  float64
+	calls     int
+	pairs     int
+	finalTime float64
+}
+
+func runCampaign(t *testing.T, seed int64) campaignRun {
+	t.Helper()
+	net, m, ids := buildRing(t, 8, seed)
+	var edges []Edge
+	for _, a := range ids[:3] {
+		for _, b := range ids[4:7] {
+			edges = append(edges, Edge{Source: a, Sink: b})
+		}
+	}
+	par, err := m.MeasurePar(edges)
+	if err != nil {
+		t.Fatalf("measurePar(seed=%d): %v", seed, err)
+	}
+	res, err := m.MeasureNetwork(ids, 3, 2000)
+	if err != nil {
+		t.Fatalf("measureNetwork(seed=%d): %v", seed, err)
+	}
+	det := res.Detected.Edges()
+	for _, e := range par.Detected.Edges() {
+		det = append(det, e)
+	}
+	sort.Slice(det, func(i, j int) bool {
+		if det[i][0] != det[j][0] {
+			return det[i][0] < det[j][0]
+		}
+		return det[i][1] < det[j][1]
+	})
+	msgs := make(map[string]int, len(net.MsgCount))
+	for k, v := range net.MsgCount {
+		msgs[k] = v
+	}
+	return campaignRun{
+		detected:  det,
+		msgCount:  msgs,
+		duration:  par.Duration + res.Duration,
+		calls:     res.Calls,
+		pairs:     res.PairsMeasured,
+		finalTime: net.Now(),
+	}
+}
+
+// TestCampaignDeterministicAcrossRuns is the same-seed determinism
+// regression: two fully independent campaigns with identical seeds must
+// produce identical detected edge sets, message tallies, and virtual
+// durations. A divergence means nondeterministic iteration order or hidden
+// shared state crept into the simulator or the measurer.
+func TestCampaignDeterministicAcrossRuns(t *testing.T) {
+	a := runCampaign(t, 11)
+	b := runCampaign(t, 11)
+	if !reflect.DeepEqual(a.detected, b.detected) {
+		t.Errorf("detected edges diverged:\n run1: %v\n run2: %v", a.detected, b.detected)
+	}
+	if !reflect.DeepEqual(a.msgCount, b.msgCount) {
+		t.Errorf("message tallies diverged:\n run1: %v\n run2: %v", a.msgCount, b.msgCount)
+	}
+	if a.duration != b.duration {
+		t.Errorf("virtual durations diverged: %v vs %v", a.duration, b.duration)
+	}
+	if a.finalTime != b.finalTime {
+		t.Errorf("final virtual clocks diverged: %v vs %v", a.finalTime, b.finalTime)
+	}
+	if a.calls != b.calls || a.pairs != b.pairs {
+		t.Errorf("schedule shape diverged: calls %d/%d pairs %d/%d",
+			a.calls, b.calls, a.pairs, b.pairs)
+	}
+
+	// Sanity: a different seed takes a different virtual-time trajectory, so
+	// the test would actually catch a determinism break.
+	c := runCampaign(t, 12)
+	if a.finalTime == c.finalTime && reflect.DeepEqual(a.msgCount, c.msgCount) {
+		t.Error("seed 11 and seed 12 produced identical traces; the comparison is vacuous")
+	}
+}
+
+// TestCampaignPopulatesMetrics runs a measurement campaign with a registry
+// wired and asserts the key instruments across txpool, ethsim, and core all
+// moved — the acceptance check for the observability layer.
+func TestCampaignPopulatesMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	net, m, ids := buildRing(t, 8, 13)
+	net.SetMetrics(reg)
+	m.SetMetrics(reg)
+	if _, err := m.MeasureNetwork(ids, 3, 2000); err != nil {
+		t.Fatalf("measureNetwork: %v", err)
+	}
+	s := reg.Snapshot()
+	for _, name := range []string{
+		"txpool.admitted.pending",
+		"txpool.admitted.future",
+		"txpool.replaced",
+		"ethsim.msg.txs",
+		"ethsim.msg.announce",
+		"core.rounds",
+		"core.edges.measured",
+		"core.edges.detected",
+	} {
+		if s.Counters[name] == 0 {
+			t.Errorf("counter %s = 0 after a full campaign, want nonzero", name)
+		}
+	}
+	if s.Gauges["core.y_wei"] == 0 {
+		t.Error("gauge core.y_wei = 0, want the resolved future-price floor")
+	}
+	h, ok := s.Histograms["core.round_duration_s"]
+	if !ok || h.Count == 0 {
+		t.Error("histogram core.round_duration_s empty after a campaign")
+	}
+	lat, ok := s.Histograms["ethsim.delivery_latency_s"]
+	if !ok || lat.Count == 0 {
+		t.Error("histogram ethsim.delivery_latency_s empty after a campaign")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"toposhot/internal/ethsim"
+	"toposhot/internal/metrics"
 	"toposhot/internal/stats"
 	"toposhot/internal/types"
 )
@@ -113,6 +114,9 @@ type Measurer struct {
 
 	// Trace, when set, receives step-by-step progress lines.
 	Trace func(format string, args ...interface{})
+
+	// metrics holds the campaign instruments; its zero value is a no-op.
+	metrics measureMetrics
 }
 
 // NewMeasurer wires a measurer to a network and supernode.
@@ -120,13 +124,17 @@ func NewMeasurer(net *ethsim.Network, super *ethsim.Supernode, params Params) *M
 	if params.X == 0 {
 		params = DefaultParams()
 	}
-	return &Measurer{
+	m := &Measurer{
 		net:       net,
 		super:     super,
 		params:    params,
 		ZOverride: make(map[types.NodeID]int),
 		Ledger:    NewLedger(),
 	}
+	if r := metrics.Enabled(); r != nil {
+		m.SetMetrics(r)
+	}
+	return m
 }
 
 // Params returns the measurer's configuration.
@@ -174,10 +182,12 @@ func (m *Measurer) EstimateY() uint64 {
 
 // resolveY returns the configured or estimated txC price.
 func (m *Measurer) resolveY() uint64 {
-	if m.params.Y != 0 {
-		return m.params.Y
+	y := m.params.Y
+	if y == 0 {
+		y = m.EstimateY()
 	}
-	return m.EstimateY()
+	m.metrics.yWei.Set(int64(y))
+	return y
 }
 
 // zFor returns the future-transaction count for a target, honoring
@@ -275,6 +285,11 @@ func (m *Measurer) MeasureOneLink(a, b types.NodeID) (bool, error) {
 	// discarded, trading recall for the guaranteed 100% precision.
 	m.net.RunFor(m.params.SettleTime)
 	detected := m.super.ObservedOnlyFrom(b, txA.Hash(), checkFrom)
+	m.metrics.oneLinks.Inc()
+	m.metrics.edgesMeasured.Inc()
+	if detected {
+		m.metrics.edgesDetected.Inc()
+	}
 	m.trace("step4: link %v–%v detected=%v", a, b, detected)
 	return detected, nil
 }

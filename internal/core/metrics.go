@@ -1,0 +1,48 @@
+package core
+
+import "toposhot/internal/metrics"
+
+// measureMetrics pre-resolves the measurement campaign's instruments. The
+// zero value (all-nil instruments) is the un-instrumented default: every
+// update is then a single no-op branch.
+type measureMetrics struct {
+	rounds        *metrics.Counter // MeasurePar invocations
+	oneLinks      *metrics.Counter // serial-primitive invocations
+	edgesMeasured *metrics.Counter
+	edgesDetected *metrics.Counter
+	setupFailed   *metrics.Counter
+	yWei          *metrics.Gauge     // last resolved txC price
+	roundDuration *metrics.Histogram // virtual seconds per MeasurePar round
+}
+
+// measureDurationBuckets cover MeasurePar rounds: tens of virtual seconds
+// for small groups through hours for budget-splitting whole-network rounds.
+var measureDurationBuckets = []float64{
+	1, 5, 10, 30, 60, 120, 300, 600, 1800, 3600, 7200, 14400,
+}
+
+// SetMetrics wires the measurer to a registry under the "core." prefix
+// (nil detaches). Instruments populated per campaign:
+//
+//	core.rounds             MeasurePar invocations
+//	core.onelink.runs       serial MeasureOneLink invocations
+//	core.edges.measured     directed edges submitted for measurement
+//	core.edges.detected     edges confirmed by the Step-p4 check
+//	core.edges.setup_failed edges whose txA failed the proceed-only-if check
+//	core.y_wei              the last resolved txC gas price (gauge)
+//	core.round_duration_s   virtual seconds per MeasurePar round (histogram)
+func (m *Measurer) SetMetrics(r *metrics.Registry) {
+	if r == nil {
+		m.metrics = measureMetrics{}
+		return
+	}
+	m.metrics = measureMetrics{
+		rounds:        r.Counter("core.rounds"),
+		oneLinks:      r.Counter("core.onelink.runs"),
+		edgesMeasured: r.Counter("core.edges.measured"),
+		edgesDetected: r.Counter("core.edges.detected"),
+		setupFailed:   r.Counter("core.edges.setup_failed"),
+		yWei:          r.Gauge("core.y_wei"),
+		roundDuration: r.Histogram("core.round_duration_s", measureDurationBuckets),
+	}
+}

@@ -149,6 +149,11 @@ func (m *Measurer) MeasurePar(edges []Edge) (*ParResult, error) {
 		}
 	}
 	res.Duration = m.net.Now() - start
+	m.metrics.rounds.Inc()
+	m.metrics.edgesMeasured.Add(int64(len(edges)))
+	m.metrics.edgesDetected.Add(int64(res.Detected.Len()))
+	m.metrics.setupFailed.Add(int64(len(res.SetupFailed)))
+	m.metrics.roundDuration.Observe(res.Duration)
 	return res, nil
 }
 

@@ -14,7 +14,9 @@ import (
 	"fmt"
 	"sort"
 
+	"toposhot/internal/metrics"
 	"toposhot/internal/sim"
+	"toposhot/internal/txpool"
 	"toposhot/internal/types"
 )
 
@@ -90,17 +92,76 @@ type Network struct {
 	workloadCount uint64
 
 	nextID types.NodeID
+
+	// metrics holds the network's instruments; its zero value (all-nil
+	// instruments) makes every update a single no-op branch.
+	metrics netMetrics
+	// poolMetrics, when set, aggregates every node mempool's counters.
+	poolMetrics *txpool.Metrics
 }
 
-// NewNetwork returns an empty network running on a fresh engine.
+// netMetrics pre-resolves the simulator's instruments. Message counters are
+// split by kind to keep the delivery path lookup-free.
+type netMetrics struct {
+	msgTxs, msgAnnounce, msgRequest, msgBlock, msgOther *metrics.Counter
+	deliveryLatency                                     *metrics.Histogram
+	announceLockHits                                    *metrics.Counter
+}
+
+func (m *netMetrics) msgCounter(kind string) *metrics.Counter {
+	switch kind {
+	case "txs":
+		return m.msgTxs
+	case "announce":
+		return m.msgAnnounce
+	case "request":
+		return m.msgRequest
+	case "block":
+		return m.msgBlock
+	default:
+		return m.msgOther
+	}
+}
+
+// SetMetrics wires the network (and every current and future node mempool)
+// to a registry under the "ethsim." and "txpool." prefixes. Call with nil to
+// detach. Instrumentation never perturbs the simulation: it only counts.
+func (n *Network) SetMetrics(r *metrics.Registry) {
+	if r == nil {
+		n.metrics = netMetrics{}
+		n.poolMetrics = nil
+	} else {
+		n.metrics = netMetrics{
+			msgTxs:           r.Counter("ethsim.msg.txs"),
+			msgAnnounce:      r.Counter("ethsim.msg.announce"),
+			msgRequest:       r.Counter("ethsim.msg.request"),
+			msgBlock:         r.Counter("ethsim.msg.block"),
+			msgOther:         r.Counter("ethsim.msg.other"),
+			deliveryLatency:  r.Histogram("ethsim.delivery_latency_s", metrics.DefaultLatencyBuckets),
+			announceLockHits: r.Counter("ethsim.announce_lock_hits"),
+		}
+		n.poolMetrics = txpool.NewMetrics(r)
+	}
+	for _, id := range n.order {
+		n.nodes[id].pool.SetMetrics(n.poolMetrics)
+	}
+}
+
+// NewNetwork returns an empty network running on a fresh engine. When a
+// process-default metrics registry is enabled (metrics.Enable), the network
+// auto-wires to it.
 func NewNetwork(cfg Config) *Network {
-	return &Network{
+	n := &Network{
 		cfg:          cfg,
 		eng:          sim.New(cfg.Seed),
 		nodes:        make(map[types.NodeID]*Node),
 		MsgCount:     make(map[string]int),
 		lastDelivery: make(map[[2]types.NodeID]float64),
 	}
+	if r := metrics.Enabled(); r != nil {
+		n.SetMetrics(r)
+	}
+	return n
 }
 
 // Engine exposes the underlying event engine (for schedulers and tests).
@@ -117,6 +178,7 @@ func (n *Network) AddNode(cfg NodeConfig) *Node {
 	n.nextID++
 	id := n.nextID
 	node := newNode(n, id, cfg)
+	node.pool.SetMetrics(n.poolMetrics)
 	n.nodes[id] = node
 	n.order = append(n.order, id)
 	return node
@@ -206,7 +268,8 @@ func (n *Network) send(from, to types.NodeID, deliver func(dst *Node), kind stri
 	if n.cfg.SpikeProb > 0 && n.eng.Rand().Float64() < n.cfg.SpikeProb {
 		lat += n.eng.Uniform(0, n.cfg.SpikeMax)
 	}
-	at := n.eng.Now() + lat
+	sent := n.eng.Now()
+	at := sent + lat
 	link := [2]types.NodeID{from, to}
 	if last := n.lastDelivery[link]; at <= last {
 		at = last + 1e-6
@@ -217,6 +280,8 @@ func (n *Network) send(from, to types.NodeID, deliver func(dst *Node), kind stri
 			return
 		}
 		n.MsgCount[kind]++
+		n.metrics.msgCounter(kind).Inc()
+		n.metrics.deliveryLatency.Observe(at - sent) // effective one-hop delay
 		deliver(dst)
 	})
 }

@@ -264,6 +264,7 @@ func (nd *Node) deliverAnnounce(from types.NodeID, hashes []types.Hash) {
 			continue
 		}
 		if until, ok := nd.announceLock[h]; ok && now < until {
+			nd.net.metrics.announceLockHits.Inc()
 			continue
 		}
 		nd.announceLock[h] = now + nd.net.cfg.AnnounceLock

@@ -8,16 +8,28 @@ package node
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"toposhot/internal/metrics"
 	"toposhot/internal/txpool"
 	"toposhot/internal/types"
 	"toposhot/internal/wire"
+)
+
+// Default deadlines. A peer that sends nothing for DefaultReadIdleTimeout is
+// assumed dead and disconnected; a frame write that cannot complete within
+// DefaultWriteTimeout marks the peer stalled and drops it rather than
+// head-of-line-blocking broadcasts to everyone else.
+const (
+	DefaultReadIdleTimeout = 2 * time.Minute
+	DefaultWriteTimeout    = 10 * time.Second
 )
 
 // Config parameterizes a live node.
@@ -39,6 +51,18 @@ type Config struct {
 	NoForward bool
 	// Seed drives peer sampling for push/announce splits.
 	Seed int64
+	// ReadIdleTimeout is the idle read deadline, refreshed before every
+	// frame: a peer silent for this long is disconnected and deregistered
+	// (0 = DefaultReadIdleTimeout; negative disables the deadline).
+	ReadIdleTimeout time.Duration
+	// WriteTimeout bounds each frame write; on expiry the stalled peer is
+	// dropped (0 = DefaultWriteTimeout; negative disables the deadline).
+	WriteTimeout time.Duration
+	// Metrics, when set, receives node instrumentation under the "node."
+	// prefix (and mempool counters under "txpool."). Nil falls back to the
+	// process default registry (metrics.Enable), and to no-op instruments
+	// when that is off too.
+	Metrics *metrics.Registry
 }
 
 // Node is a live TCP peer.
@@ -55,9 +79,38 @@ type Node struct {
 
 	wg sync.WaitGroup
 
+	metrics nodeMetrics
+
 	// OnTx, when set, fires for every transaction received from a peer
 	// (admitted or not), with the peer's remote address.
 	OnTx func(fromAddr string, fromVersion string, tx *types.Transaction)
+}
+
+// nodeMetrics pre-resolves the node's instruments; the zero value (nil
+// instruments) makes every update a single no-op branch.
+type nodeMetrics struct {
+	framesIn, framesOut *metrics.Counter
+	bytesIn, bytesOut   *metrics.Counter
+	peersConnected      *metrics.Counter
+	peersDisconnected   *metrics.Counter
+	writeStallDrops     *metrics.Counter
+	idleDisconnects     *metrics.Counter
+}
+
+func newNodeMetrics(r *metrics.Registry) nodeMetrics {
+	if r == nil {
+		return nodeMetrics{}
+	}
+	return nodeMetrics{
+		framesIn:          r.Counter("node.frames.in"),
+		framesOut:         r.Counter("node.frames.out"),
+		bytesIn:           r.Counter("node.bytes.in"),
+		bytesOut:          r.Counter("node.bytes.out"),
+		peersConnected:    r.Counter("node.peers.connected"),
+		peersDisconnected: r.Counter("node.peers.disconnected"),
+		writeStallDrops:   r.Counter("node.write_stall_drops"),
+		idleDisconnects:   r.Counter("node.idle_disconnects"),
+	}
 }
 
 type peer struct {
@@ -65,13 +118,61 @@ type peer struct {
 	addr    string
 	version string
 
-	writeMu sync.Mutex
+	writeMu      sync.Mutex
+	writeTimeout time.Duration
+	w            io.Writer // byte-counting writer over conn
+
+	closeOnce sync.Once
+
+	// Per-peer traffic accounting (DEthna-style per-peer message flow).
+	framesIn, framesOut atomic.Int64
+	bytesIn, bytesOut   atomic.Int64
 }
 
+// close shuts the connection exactly once; concurrent droppers race safely.
+func (p *peer) close() {
+	p.closeOnce.Do(func() { _ = p.conn.Close() })
+}
+
+// countingWriter tallies bytes written to a peer's connection.
+type countingWriter struct {
+	p *peer
+	n *Node
+}
+
+func (w countingWriter) Write(b []byte) (int, error) {
+	n, err := w.p.conn.Write(b)
+	if n > 0 {
+		w.p.bytesOut.Add(int64(n))
+		w.n.metrics.bytesOut.Add(int64(n))
+	}
+	return n, err
+}
+
+// countingReader tallies bytes read from a peer's connection.
+type countingReader struct {
+	p *peer
+	n *Node
+}
+
+func (r countingReader) Read(b []byte) (int, error) {
+	n, err := r.p.conn.Read(b)
+	if n > 0 {
+		r.p.bytesIn.Add(int64(n))
+		r.n.metrics.bytesIn.Add(int64(n))
+	}
+	return n, err
+}
+
+// send writes one frame to the peer under its write deadline. It reports
+// wire/IO errors verbatim; the caller decides whether to drop the peer.
 func (p *peer) send(m wire.Msg) error {
 	p.writeMu.Lock()
 	defer p.writeMu.Unlock()
-	return wire.WriteMsg(p.conn, m)
+	if p.writeTimeout > 0 {
+		_ = p.conn.SetWriteDeadline(time.Now().Add(p.writeTimeout))
+	}
+	return wire.WriteMsg(p.w, m)
 }
 
 // Start launches a node listening on addr (use "127.0.0.1:0" for an
@@ -86,6 +187,15 @@ func Start(cfg Config, addr string) (*Node, error) {
 	if cfg.Policy.Capacity == 0 {
 		cfg.Policy = txpool.Geth
 	}
+	if cfg.ReadIdleTimeout == 0 {
+		cfg.ReadIdleTimeout = DefaultReadIdleTimeout
+	}
+	if cfg.WriteTimeout == 0 {
+		cfg.WriteTimeout = DefaultWriteTimeout
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.Enabled()
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -97,6 +207,10 @@ func Start(cfg Config, addr string) (*Node, error) {
 		peers:        make(map[string]*peer),
 		announceLock: make(map[types.Hash]time.Time),
 		rng:          rand.New(rand.NewSource(cfg.Seed ^ time.Now().UnixNano())),
+		metrics:      newNodeMetrics(cfg.Metrics),
+	}
+	if cfg.Metrics != nil {
+		n.pool.SetMetrics(txpool.NewMetrics(cfg.Metrics))
 	}
 	n.wg.Add(1)
 	go n.acceptLoop()
@@ -121,7 +235,7 @@ func (n *Node) Close() error {
 	n.mu.Unlock()
 	err := n.ln.Close()
 	for _, p := range peers {
-		_ = p.conn.Close()
+		p.close()
 	}
 	n.wg.Wait()
 	return err
@@ -181,7 +295,13 @@ func (n *Node) setupPeer(conn net.Conn, initiator bool) error {
 		return fmt.Errorf("node: network id mismatch: %d != %d",
 			remote.Status.NetworkID, n.cfg.NetworkID)
 	}
-	p := &peer{conn: conn, addr: conn.RemoteAddr().String(), version: remote.Status.ClientVersion}
+	p := &peer{
+		conn:         conn,
+		addr:         conn.RemoteAddr().String(),
+		version:      remote.Status.ClientVersion,
+		writeTimeout: n.cfg.WriteTimeout,
+	}
+	p.w = countingWriter{p: p, n: n}
 
 	n.mu.Lock()
 	if n.closed {
@@ -192,29 +312,73 @@ func (n *Node) setupPeer(conn net.Conn, initiator bool) error {
 		n.mu.Unlock()
 		return errors.New("node: too many peers")
 	}
+	if old, ok := n.peers[p.addr]; ok {
+		// A stale entry under the same remote address (reconnect racing the
+		// old read loop's teardown) must not leak: evict it explicitly.
+		delete(n.peers, p.addr)
+		old.close()
+		n.metrics.peersDisconnected.Inc()
+	}
 	n.peers[p.addr] = p
 	n.mu.Unlock()
+	n.metrics.peersConnected.Inc()
 
 	n.wg.Add(1)
 	go n.readLoop(p)
 	return nil
 }
 
+// dropPeer deregisters and closes a peer. It is idempotent and exactly-once
+// per registered peer: the write-error path and the read loop's deferred
+// teardown may both call it, and a reconnect that reuses the remote address
+// is never clobbered (the map entry is removed only if it is this peer).
 func (n *Node) dropPeer(p *peer) {
 	n.mu.Lock()
-	delete(n.peers, p.addr)
+	if cur, ok := n.peers[p.addr]; ok && cur == p {
+		delete(n.peers, p.addr)
+		n.metrics.peersDisconnected.Inc()
+	}
 	n.mu.Unlock()
-	_ = p.conn.Close()
+	p.close()
+}
+
+// sendTo writes one frame to a peer and handles failure: a write error —
+// including a deadline expiry on a stalled connection — drops the peer so
+// it cannot block future broadcasts.
+func (n *Node) sendTo(p *peer, m wire.Msg) error {
+	err := p.send(m)
+	if err != nil {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			n.metrics.writeStallDrops.Inc()
+		}
+		n.dropPeer(p)
+		return err
+	}
+	p.framesOut.Add(1)
+	n.metrics.framesOut.Inc()
+	return nil
 }
 
 func (n *Node) readLoop(p *peer) {
 	defer n.wg.Done()
 	defer n.dropPeer(p)
+	r := countingReader{p: p, n: n}
+	idle := n.cfg.ReadIdleTimeout
 	for {
-		m, err := wire.ReadMsg(p.conn)
+		if idle > 0 {
+			_ = p.conn.SetReadDeadline(time.Now().Add(idle))
+		}
+		m, err := wire.ReadMsg(r)
 		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				n.metrics.idleDisconnects.Inc()
+			}
 			return
 		}
+		p.framesIn.Add(1)
+		n.metrics.framesIn.Inc()
 		switch m.Code {
 		case wire.CodeTransactions, wire.CodePooledTransactions:
 			n.handleTxs(p, m.Txs)
@@ -271,7 +435,7 @@ func (n *Node) handleAnnounce(p *peer, hashes []types.Hash) {
 	}
 	n.mu.Unlock()
 	if len(want) > 0 {
-		_ = p.send(wire.Msg{Code: wire.CodeGetPooledTransactions, Hashes: want})
+		_ = n.sendTo(p, wire.Msg{Code: wire.CodeGetPooledTransactions, Hashes: want})
 	}
 }
 
@@ -285,7 +449,7 @@ func (n *Node) handleRequest(p *peer, hashes []types.Hash) {
 	}
 	n.mu.Unlock()
 	if len(txs) > 0 {
-		_ = p.send(wire.Msg{Code: wire.CodePooledTransactions, Txs: txs})
+		_ = n.sendTo(p, wire.Msg{Code: wire.CodePooledTransactions, Txs: txs})
 	}
 }
 
@@ -315,9 +479,9 @@ func (n *Node) propagate(excludeAddr string, txs []*types.Transaction) {
 	for i, pi := range perm {
 		p := targets[pi]
 		if i < pushCount {
-			_ = p.send(wire.Msg{Code: wire.CodeTransactions, Txs: txs})
+			_ = n.sendTo(p, wire.Msg{Code: wire.CodeTransactions, Txs: txs})
 		} else {
-			_ = p.send(wire.Msg{Code: wire.CodeNewPooledTransactionHashes, Hashes: hashes})
+			_ = n.sendTo(p, wire.Msg{Code: wire.CodeNewPooledTransactionHashes, Hashes: hashes})
 		}
 	}
 }
@@ -349,7 +513,7 @@ func (n *Node) SendTo(peerAddr string, txs []*types.Transaction) error {
 	if p == nil {
 		return fmt.Errorf("node: no peer %s", peerAddr)
 	}
-	return p.send(wire.Msg{Code: wire.CodeTransactions, Txs: txs})
+	return n.sendTo(p, wire.Msg{Code: wire.CodeTransactions, Txs: txs})
 }
 
 // HasTx reports whether the pool buffers the hash (the RPC
@@ -384,6 +548,40 @@ func (n *Node) PeerCount() int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return len(n.peers)
+}
+
+// PeerStat is one connected peer's traffic accounting.
+type PeerStat struct {
+	Addr      string
+	Version   string
+	FramesIn  int64
+	FramesOut int64
+	BytesIn   int64
+	BytesOut  int64
+}
+
+// PeerStats returns per-peer frame and byte counts, sorted by address — the
+// per-peer message-flow view topology-measurement diagnosis needs.
+func (n *Node) PeerStats() []PeerStat {
+	n.mu.Lock()
+	peers := make([]*peer, 0, len(n.peers))
+	for _, p := range n.peers {
+		peers = append(peers, p)
+	}
+	n.mu.Unlock()
+	out := make([]PeerStat, 0, len(peers))
+	for _, p := range peers {
+		out = append(out, PeerStat{
+			Addr:      p.addr,
+			Version:   p.version,
+			FramesIn:  p.framesIn.Load(),
+			FramesOut: p.framesOut.Load(),
+			BytesIn:   p.bytesIn.Load(),
+			BytesOut:  p.bytesOut.Load(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
 }
 
 // ClientVersion returns the node's advertised version.

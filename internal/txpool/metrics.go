@@ -1,0 +1,76 @@
+package txpool
+
+import "toposhot/internal/metrics"
+
+// Metrics holds the pool's pre-resolved instruments. A nil *Metrics (the
+// default) and nil instruments are both no-ops, so an un-instrumented pool
+// pays one branch per Offer. One Metrics value may be shared by many pools
+// (the simulator aggregates every node's mempool into network-wide totals).
+type Metrics struct {
+	AdmittedPending *metrics.Counter
+	AdmittedFuture  *metrics.Counter
+	Replaced        *metrics.Counter
+	Promoted        *metrics.Counter
+
+	RejectedKnown          *metrics.Counter
+	RejectedUnderpriced    *metrics.Counter
+	RejectedPoolFull       *metrics.Counter
+	RejectedStaleNonce     *metrics.Counter
+	RejectedOverAccountCap *metrics.Counter
+
+	Evicted *metrics.Counter
+	Expired *metrics.Counter
+}
+
+// NewMetrics resolves the pool instrument set against a registry under the
+// "txpool." prefix. A nil registry yields a usable all-no-op Metrics.
+func NewMetrics(r *metrics.Registry) *Metrics {
+	return &Metrics{
+		AdmittedPending:        r.Counter("txpool.admitted.pending"),
+		AdmittedFuture:         r.Counter("txpool.admitted.future"),
+		Replaced:               r.Counter("txpool.replaced"),
+		Promoted:               r.Counter("txpool.promoted"),
+		RejectedKnown:          r.Counter("txpool.rejected.known"),
+		RejectedUnderpriced:    r.Counter("txpool.rejected.underpriced"),
+		RejectedPoolFull:       r.Counter("txpool.rejected.pool_full"),
+		RejectedStaleNonce:     r.Counter("txpool.rejected.stale_nonce"),
+		RejectedOverAccountCap: r.Counter("txpool.rejected.over_account_cap"),
+		Evicted:                r.Counter("txpool.evicted"),
+		Expired:                r.Counter("txpool.expired"),
+	}
+}
+
+// observeOffer tallies one Offer outcome.
+func (m *Metrics) observeOffer(res Result) {
+	if m == nil {
+		return
+	}
+	switch res.Status {
+	case StatusPending:
+		m.AdmittedPending.Inc()
+	case StatusFuture:
+		m.AdmittedFuture.Inc()
+	case StatusReplaced:
+		m.Replaced.Inc()
+	case StatusKnown:
+		m.RejectedKnown.Inc()
+	case StatusUnderpriced:
+		m.RejectedUnderpriced.Inc()
+	case StatusPoolFull:
+		m.RejectedPoolFull.Inc()
+	case StatusStaleNonce:
+		m.RejectedStaleNonce.Inc()
+	case StatusOverAccountCap:
+		m.RejectedOverAccountCap.Inc()
+	}
+	m.Promoted.Add(int64(len(res.Promoted)))
+	m.Evicted.Add(int64(len(res.Evicted)))
+}
+
+// observeExpired tallies expiry drops from SetTime.
+func (m *Metrics) observeExpired() {
+	if m == nil {
+		return
+	}
+	m.Expired.Inc()
+}

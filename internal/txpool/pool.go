@@ -114,6 +114,10 @@ type Pool struct {
 	// DropObserver, when set, is invoked for every transaction that leaves
 	// the pool involuntarily (eviction, expiry), with a reason tag.
 	DropObserver func(tx *types.Transaction, reason string)
+
+	// metrics, when set, tallies admissions, replacements, rejections per
+	// reason, evictions and expiries. Nil (the default) costs one branch.
+	metrics *Metrics
 }
 
 // New returns an empty pool with the given policy.
@@ -128,6 +132,10 @@ func New(policy Policy) *Pool {
 
 // Policy returns the pool's policy.
 func (p *Pool) Policy() Policy { return p.policy }
+
+// SetMetrics attaches an instrument set to the pool (nil detaches). Several
+// pools may share one Metrics value; counts then aggregate.
+func (p *Pool) SetMetrics(m *Metrics) { p.metrics = m }
 
 // SetTime advances the pool clock (virtual seconds) and expires transactions
 // older than the policy expiry. Admission order makes the age queue
@@ -149,6 +157,7 @@ func (p *Pool) SetTime(now float64) {
 		p.ageQueue = p.ageQueue[1:]
 		p.remove(e)
 		p.repartition(e.tx.From)
+		p.metrics.observeExpired()
 		if p.DropObserver != nil {
 			p.DropObserver(e.tx, "expired")
 		}
@@ -247,6 +256,12 @@ func (p *Pool) isExecutable(sender types.Address, nonce uint64) bool {
 //     lowest-priced transaction while the pool is over capacity;
 //  5. pending/future classification and promotion of unblocked futures.
 func (p *Pool) Offer(tx *types.Transaction) Result {
+	res := p.offer(tx)
+	p.metrics.observeOffer(res)
+	return res
+}
+
+func (p *Pool) offer(tx *types.Transaction) Result {
 	h := tx.Hash()
 	if _, ok := p.all[h]; ok {
 		return Result{Status: StatusKnown}
