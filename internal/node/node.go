@@ -170,8 +170,12 @@ func (p *peer) send(m wire.Msg) error {
 	p.writeMu.Lock()
 	defer p.writeMu.Unlock()
 	if p.writeTimeout > 0 {
-		_ = p.conn.SetWriteDeadline(time.Now().Add(p.writeTimeout))
+		//lint:ignore locksafe writeMu exists to serialize whole frames; the deadline set here bounds how long it is held
+		if err := p.conn.SetWriteDeadline(time.Now().Add(p.writeTimeout)); err != nil {
+			return err
+		}
 	}
+	//lint:ignore locksafe frame serialization is writeMu's purpose; the write deadline above caps the hold time
 	return wire.WriteMsg(p.w, m)
 }
 
@@ -200,13 +204,19 @@ func Start(cfg Config, addr string) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A configured seed is honored exactly so probe jitter is reproducible;
+	// only an unset seed falls back to the wall clock.
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
 	n := &Node{
 		cfg:          cfg,
 		ln:           ln,
 		pool:         txpool.New(cfg.Policy),
 		peers:        make(map[string]*peer),
 		announceLock: make(map[types.Hash]time.Time),
-		rng:          rand.New(rand.NewSource(cfg.Seed ^ time.Now().UnixNano())),
+		rng:          rand.New(rand.NewSource(seed)),
 		metrics:      newNodeMetrics(cfg.Metrics),
 	}
 	if cfg.Metrics != nil {
@@ -282,12 +292,16 @@ func (n *Node) setupPeer(conn net.Conn, initiator bool) error {
 	if err := wire.WriteMsg(conn, status); err != nil {
 		return err
 	}
-	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if err := conn.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		return err
+	}
 	remote, err := wire.ReadMsg(conn)
 	if err != nil {
 		return err
 	}
-	_ = conn.SetReadDeadline(time.Time{})
+	if err := conn.SetReadDeadline(time.Time{}); err != nil {
+		return err
+	}
 	if remote.Code != wire.CodeStatus {
 		return fmt.Errorf("node: expected status, got code %d", remote.Code)
 	}
@@ -367,7 +381,11 @@ func (n *Node) readLoop(p *peer) {
 	idle := n.cfg.ReadIdleTimeout
 	for {
 		if idle > 0 {
-			_ = p.conn.SetReadDeadline(time.Now().Add(idle))
+			// A connection that cannot even arm its deadline is dead; bail
+			// out through the deferred teardown.
+			if err := p.conn.SetReadDeadline(time.Now().Add(idle)); err != nil {
+				return
+			}
 		}
 		m, err := wire.ReadMsg(r)
 		if err != nil {
