@@ -6,6 +6,7 @@ package netgen
 
 import (
 	"math/rand"
+	"sort"
 
 	"toposhot/internal/graph"
 )
@@ -93,7 +94,15 @@ func BarabasiAlbert(n, k int, seed int64) *graph.Graph {
 				chosen[u] = true
 			}
 		}
+		// Attach in sorted order: ranging over the chosen set directly would
+		// let map iteration order leak into the endpoint list and break
+		// same-seed reproducibility of the sampled topology.
+		picks := make([]int, 0, len(chosen))
 		for u := range chosen {
+			picks = append(picks, u)
+		}
+		sort.Ints(picks)
+		for _, u := range picks {
 			g.AddEdge(u, v)
 			ends = append(ends, u, v)
 		}
