@@ -1,6 +1,10 @@
 package txpool
 
-import "toposhot/internal/types"
+import (
+	"sort"
+
+	"toposhot/internal/types"
+)
 
 // EIP-1559 support (Appendix E of the paper). Under the fee-market upgrade a
 // transaction carries a max fee (fee cap) and a priority fee (tip); the
@@ -29,6 +33,12 @@ func (p *Pool) SetBaseFee(baseFee uint64) []*types.Transaction {
 			drop = append(drop, e)
 		}
 	}
+	// Drop in hash order: the removal sequence feeds DropObserver and the
+	// returned slice, both of which must be identical across runs.
+	sort.Slice(drop, func(i, j int) bool {
+		hi, hj := drop[i].tx.Hash(), drop[j].tx.Hash()
+		return string(hi[:]) < string(hj[:])
+	})
 	out := make([]*types.Transaction, 0, len(drop))
 	for _, e := range drop {
 		p.remove(e)

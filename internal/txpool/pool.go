@@ -455,9 +455,18 @@ func (p *Pool) RemoveConfirmed(txs []*types.Transaction) []*types.Transaction {
 			touched[tx.From] = next
 		}
 	}
+	// Advance senders in sorted order so the promotion sequence (and any
+	// observer callbacks it fires) is identical across runs.
+	senders := make([]types.Address, 0, len(touched))
+	for sender := range touched {
+		senders = append(senders, sender)
+	}
+	sort.Slice(senders, func(i, j int) bool {
+		return string(senders[i][:]) < string(senders[j][:])
+	})
 	var promoted []*types.Transaction
-	for sender, next := range touched {
-		if next > p.stateNonce[sender] {
+	for _, sender := range senders {
+		if next := touched[sender]; next > p.stateNonce[sender] {
 			promoted = append(promoted, p.SetStateNonce(sender, next)...)
 		}
 	}
@@ -497,18 +506,23 @@ func (p *Pool) Pending() []*types.Transaction {
 	return out
 }
 
-// Content returns every buffered transaction in no particular order
-// (the txpool_content RPC view).
+// Content returns every buffered transaction, ordered by hash so the
+// txpool_content RPC view is stable across runs.
 func (p *Pool) Content() []*types.Transaction {
 	out := make([]*types.Transaction, 0, len(p.all))
 	for _, e := range p.all {
 		out = append(out, e.tx)
 	}
+	sort.Slice(out, func(i, j int) bool {
+		hi, hj := out[i].Hash(), out[j].Hash()
+		return string(hi[:]) < string(hj[:])
+	})
 	return out
 }
 
-// PendingPrices returns the gas prices of pending transactions; the
-// measurement node feeds this to the median estimator for Y (§5.2.1).
+// PendingPrices returns the gas prices of pending transactions in ascending
+// order; the measurement node feeds this to the median estimator for Y
+// (§5.2.1), which must not see map iteration order.
 func (p *Pool) PendingPrices() []uint64 {
 	out := make([]uint64, 0, p.pendingCount)
 	for _, e := range p.all {
@@ -516,6 +530,7 @@ func (p *Pool) PendingPrices() []uint64 {
 			out = append(out, e.tx.GasPrice)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
