@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"toposhot/internal/chain"
 	"toposhot/internal/types"
@@ -43,12 +44,27 @@ func (l *Ledger) PendingCount() int { return len(l.pending) }
 // FutureCount returns the number of future transactions emitted.
 func (l *Ledger) FutureCount() int { return l.futures }
 
+// sortedPending returns the pending transactions ordered by hash. Campaign
+// prices are float sums; summing in hash order keeps the total bit-identical
+// across runs (float addition is not associative over map iteration order).
+func (l *Ledger) sortedPending() []*types.Transaction {
+	out := make([]*types.Transaction, 0, len(l.pending))
+	for _, tx := range l.pending {
+		out = append(out, tx)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		hi, hj := out[i].Hash(), out[j].Hash()
+		return string(hi[:]) < string(hj[:])
+	})
+	return out
+}
+
 // WorstCaseWei prices the campaign as if every pending-class measurement
 // transaction were mined — the estimation basis for the paper's $60M
 // full-mainnet figure.
 func (l *Ledger) WorstCaseWei() float64 {
 	var sum float64
-	for _, tx := range l.pending {
+	for _, tx := range l.sortedPending() {
 		sum += float64(tx.Fee())
 	}
 	return sum
@@ -58,8 +74,8 @@ func (l *Ledger) WorstCaseWei() float64 {
 // that were actually included cost Ether.
 func (l *Ledger) ActualWei(c *chain.Chain) float64 {
 	var sum float64
-	for h, tx := range l.pending {
-		if _, ok := c.Included(h); ok {
+	for _, tx := range l.sortedPending() {
+		if _, ok := c.Included(tx.Hash()); ok {
 			sum += float64(tx.Fee())
 		}
 	}
