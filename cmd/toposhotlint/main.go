@@ -1,0 +1,62 @@
+// Command toposhotlint runs the repository's project-specific static
+// analyzers (see internal/lint) over module packages.
+//
+// Usage:
+//
+//	toposhotlint [-rules rule1,rule2] [-list] [packages...]
+//
+// Packages default to ./... . Exit status is 0 when the tree is clean, 1 when
+// findings were reported, and 2 on usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"toposhot/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("toposhotlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rules := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	list := fs.Bool("list", false, "list known rules and exit")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: toposhotlint [-rules rule1,rule2] [-list] [packages...]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, name := range lint.AnalyzerNames() {
+			fmt.Fprintf(stdout, "%-16s %s\n", name, lint.ByName(name).Doc)
+		}
+		return 0
+	}
+	opts := lint.Options{Patterns: fs.Args()}
+	if *rules != "" {
+		for _, r := range strings.Split(*rules, ",") {
+			if r = strings.TrimSpace(r); r != "" {
+				opts.Rules = append(opts.Rules, r)
+			}
+		}
+	}
+	findings, err := lint.Run(opts)
+	if err != nil {
+		fmt.Fprintln(stderr, "toposhotlint:", err)
+		return 2
+	}
+	if len(findings) == 0 {
+		return 0
+	}
+	fmt.Fprint(stdout, lint.Format(findings))
+	fmt.Fprintf(stderr, "toposhotlint: %d finding(s)\n", len(findings))
+	return 1
+}

@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+var analyzerBigintAlias = &Analyzer{
+	Name: "bigint-alias",
+	Doc:  "caller-provided *big.Int values must be copied with new(big.Int).Set(...), never stored or mutated in place",
+	Run:  runBigintAlias,
+}
+
+// bigIntMutators are big.Int methods that modify their receiver.
+var bigIntMutators = map[string]bool{
+	"Set": true, "SetInt64": true, "SetUint64": true, "SetString": true,
+	"SetBytes": true, "SetBit": true, "SetBits": true,
+	"Add": true, "Sub": true, "Mul": true, "Div": true, "Mod": true,
+	"Quo": true, "Rem": true, "DivMod": true, "QuoRem": true,
+	"Neg": true, "Abs": true, "Lsh": true, "Rsh": true,
+	"And": true, "AndNot": true, "Or": true, "Xor": true, "Not": true,
+	"Exp": true, "ModInverse": true, "ModSqrt": true, "Sqrt": true,
+	"GCD": true, "Rand": true, "MulRange": true, "Binomial": true,
+	"Lerp": true,
+}
+
+func runBigintAlias(pkg *Package) []Finding {
+	var findings []Finding
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			params := bigIntParams(pkg.Info, fd)
+			if len(params) == 0 {
+				continue
+			}
+			findings = append(findings, checkBigIntBody(pkg, fd.Body, params)...)
+		}
+	}
+	return findings
+}
+
+// bigIntParams collects the *big.Int-typed parameters (including the
+// receiver) of a function declaration.
+func bigIntParams(info *types.Info, fd *ast.FuncDecl) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	collect := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				v, ok := info.Defs[name].(*types.Var)
+				if !ok {
+					continue
+				}
+				if p, isPtr := v.Type().(*types.Pointer); isPtr && namedFrom(p, "math/big", "Int") {
+					out[v] = true
+				}
+			}
+		}
+	}
+	collect(fd.Type.Params)
+	if fd.Recv != nil {
+		collect(fd.Recv)
+	}
+	return out
+}
+
+// checkBigIntBody flags stores of a *big.Int parameter into longer-lived
+// structures and mutating method calls with a parameter receiver. Either one
+// aliases the caller's value: a later SetUint64 on a stored gas price would
+// retroactively corrupt the replacement predicate the caller computed.
+func checkBigIntBody(pkg *Package, body *ast.BlockStmt, params map[*types.Var]bool) []Finding {
+	var findings []Finding
+	info := pkg.Info
+	isParam := func(e ast.Expr) (*types.Var, bool) {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil, false
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || !params[v] {
+			return nil, false
+		}
+		return v, true
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range x.Rhs {
+				if len(x.Lhs) != len(x.Rhs) || i >= len(x.Lhs) {
+					break
+				}
+				v, ok := isParam(rhs)
+				if !ok {
+					continue
+				}
+				switch ast.Unparen(x.Lhs[i]).(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+					findings = append(findings, report(pkg, x, "bigint-alias",
+						"*big.Int parameter "+v.Name()+" stored without copying; use new(big.Int).Set("+v.Name()+")"))
+				}
+			}
+		case *ast.KeyValueExpr:
+			if v, ok := isParam(x.Value); ok {
+				findings = append(findings, report(pkg, x, "bigint-alias",
+					"*big.Int parameter "+v.Name()+" stored in a composite literal without copying; use new(big.Int).Set("+v.Name()+")"))
+			}
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			v, ok := isParam(sel.X)
+			if !ok {
+				return true
+			}
+			obj := calleeObject(info, x)
+			if obj != nil && objectPkgPath(obj) == "math/big" && bigIntMutators[obj.Name()] {
+				findings = append(findings, report(pkg, x, "bigint-alias",
+					"mutating big.Int method "+obj.Name()+" called on parameter "+v.Name()+"; operate on a new(big.Int).Set copy"))
+			}
+		}
+		return true
+	})
+	return findings
+}

@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+var analyzerErrcheckWire = &Analyzer{
+	Name: "errcheck-wire",
+	Doc:  "errors from internal/rlp and internal/wire encode/decode and net.Conn deadline/write calls must not be discarded",
+	Run:  runErrcheckWire,
+}
+
+// errcheckPkgs are the protocol packages whose error returns carry isolation
+// violations (a swallowed decode error means a measurement silently used a
+// corrupt frame).
+var errcheckPkgs = []string{
+	modulePrefix + "/internal/rlp",
+	modulePrefix + "/internal/wire",
+}
+
+// netCheckedMethods are net methods whose errors must be inspected: a failed
+// deadline arm or short write turns into an unbounded stall or a half-frame.
+var netCheckedMethods = map[string]bool{
+	"SetDeadline": true, "SetReadDeadline": true, "SetWriteDeadline": true,
+	"Write": true,
+}
+
+func runErrcheckWire(pkg *Package) []Finding {
+	var findings []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					if name, hit := errcheckTarget(pkg, call); hit {
+						findings = append(findings, report(pkg, call, "errcheck-wire",
+							"error from "+name+" discarded; handle or propagate it"))
+					}
+				}
+			case *ast.GoStmt:
+				if name, hit := errcheckTarget(pkg, s.Call); hit {
+					findings = append(findings, report(pkg, s.Call, "errcheck-wire",
+						"error from "+name+" discarded by go statement; call it from a function that checks the error"))
+				}
+			case *ast.DeferStmt:
+				if name, hit := errcheckTarget(pkg, s.Call); hit {
+					findings = append(findings, report(pkg, s.Call, "errcheck-wire",
+						"error from "+name+" discarded by defer; wrap it in a closure that checks the error"))
+				}
+			case *ast.AssignStmt:
+				findings = append(findings, blankedErrors(pkg, s)...)
+			}
+			return true
+		})
+	}
+	return findings
+}
+
+// blankedErrors flags assignments that bind a checked call's error result to
+// the blank identifier, e.g. `_ = conn.SetReadDeadline(...)` or
+// `it, _ := rlp.Decode(buf)`.
+func blankedErrors(pkg *Package, asg *ast.AssignStmt) []Finding {
+	var findings []Finding
+	// Multi-result form: one call on the right, results spread on the left.
+	if len(asg.Rhs) == 1 && len(asg.Lhs) > 1 {
+		call, ok := ast.Unparen(asg.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return nil
+		}
+		name, hit := errcheckTarget(pkg, call)
+		if !hit {
+			return nil
+		}
+		// The error is the final result by convention (verified by
+		// errcheckTarget); only its slot matters.
+		if isBlank(asg.Lhs[len(asg.Lhs)-1]) {
+			findings = append(findings, report(pkg, call, "errcheck-wire",
+				"error from "+name+" assigned to _; handle or propagate it"))
+		}
+		return findings
+	}
+	// Parallel form: `_ = call` (possibly several per statement).
+	for i, rhs := range asg.Rhs {
+		if i >= len(asg.Lhs) || !isBlank(asg.Lhs[i]) {
+			continue
+		}
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if name, hit := errcheckTarget(pkg, call); hit {
+			findings = append(findings, report(pkg, call, "errcheck-wire",
+				"error from "+name+" assigned to _; handle or propagate it"))
+		}
+	}
+	return findings
+}
+
+// errcheckTarget reports whether a call is one whose error result this rule
+// tracks, returning a display name for the callee.
+func errcheckTarget(pkg *Package, call *ast.CallExpr) (string, bool) {
+	obj := calleeObject(pkg.Info, call)
+	if obj == nil || !errorReturning(pkg.Info, call) {
+		return "", false
+	}
+	path := objectPkgPath(obj)
+	if pathIn(path, errcheckPkgs...) {
+		// Findings inside the protocol packages themselves are exempt:
+		// encode internals legitimately thread partial results around.
+		if pathIn(pkg.Path, errcheckPkgs...) {
+			return "", false
+		}
+		return lastSegment(path) + "." + obj.Name(), true
+	}
+	if fn, ok := obj.(*types.Func); ok && path == "net" {
+		if sig, sok := fn.Type().(*types.Signature); sok && sig.Recv() != nil && netCheckedMethods[fn.Name()] {
+			return "net " + fn.Name(), true
+		}
+	}
+	return "", false
+}
+
+func lastSegment(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}

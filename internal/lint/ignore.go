@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"strings"
+)
+
+// ignoreKey identifies one suppressible (file, line, rule) site.
+type ignoreKey struct {
+	file string
+	line int
+	rule string
+}
+
+// ignoreSet holds the parsed //lint:ignore directives of one package.
+type ignoreSet map[ignoreKey]bool
+
+// IgnorePrefix introduces a suppression directive:
+//
+//	//lint:ignore rule-id[,rule-id...] reason
+//
+// placed on the offending line or the line directly above it.
+const IgnorePrefix = "//lint:ignore"
+
+// collectIgnores parses every comment in the package for ignore directives.
+// Malformed directives (missing rule, missing reason, unknown rule) are
+// returned as findings under the typecheck pseudo-rule: a directive that
+// silently fails to parse would silently fail to suppress.
+func collectIgnores(pkg *Package) (ignoreSet, []Finding) {
+	set := make(ignoreSet)
+	var bad []Finding
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, IgnorePrefix) {
+					continue
+				}
+				pos := relPosition(pkg.Fset, c.Pos())
+				rest := strings.TrimPrefix(c.Text, IgnorePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					// e.g. //lint:ignoreXYZ — not our directive.
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad = append(bad, Finding{
+						Pos:  pos,
+						Rule: TypecheckRule,
+						Msg:  "malformed ignore directive: want //lint:ignore rule-id reason",
+					})
+					continue
+				}
+				rules := strings.Split(fields[0], ",")
+				ok := true
+				for _, r := range rules {
+					if ByName(r) == nil {
+						bad = append(bad, Finding{
+							Pos:  pos,
+							Rule: TypecheckRule,
+							Msg:  "ignore directive names unknown rule " + quote(r),
+						})
+						ok = false
+					}
+				}
+				if !ok {
+					continue
+				}
+				// The directive suppresses findings on its own line and the
+				// line below (standalone-comment placement).
+				for _, r := range rules {
+					set[ignoreKey{pos.Filename, pos.Line, r}] = true
+					set[ignoreKey{pos.Filename, pos.Line + 1, r}] = true
+				}
+			}
+		}
+	}
+	return set, bad
+}
+
+// matches reports whether a finding is suppressed by a directive on its line
+// (trailing comment) or the line above (standalone comment).
+func (s ignoreSet) matches(f Finding) bool {
+	return s[ignoreKey{f.Pos.Filename, f.Pos.Line, f.Rule}]
+}
+
+func quote(s string) string {
+	return `"` + s + `"`
+}

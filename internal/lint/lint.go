@@ -1,0 +1,220 @@
+// Package lint implements toposhotlint, the repository's project-specific
+// static-analysis suite. It enforces invariants the compiler cannot see but
+// the paper's measurement methodology depends on:
+//
+//   - nodeterminism: simulation packages must be reproducible — no wall
+//     clock, no global math/rand, no results that depend on map iteration
+//     order (same seed ⇒ same topology inference).
+//   - locksafe: no channel send, network write, or callback invocation while
+//     a sync.Mutex/RWMutex is held — the head-of-line-blocking shape that
+//     stalled live-node peers before PR 1.
+//   - errcheck-wire: results of internal/rlp and internal/wire
+//     encode/decode calls and net.Conn deadline/write calls must not be
+//     discarded; a swallowed wire error silently breaks §5.2 isolation.
+//   - bigint-alias: caller-provided *big.Int values must not be stored or
+//     mutated; an aliased gas price corrupts the replacement predicate
+//     (1+R)·Y.
+//   - metrics-nilsafe: internal/metrics instruments are nil-safe by design
+//     and must be used through their methods, never nil-compared or
+//     dereferenced after registry lookup.
+//
+// The driver is dependency-free: packages are loaded with go/parser and
+// type-checked with go/types against a go/importer "source" importer, so the
+// module keeps zero third-party dependencies. Findings render as
+//
+//	file:line: [rule-id] message
+//
+// and can be suppressed in place with
+//
+//	//lint:ignore rule-id reason
+//
+// on the offending line or the line directly above it. The reason is
+// mandatory; an ignore directive naming an unknown rule is itself an error.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer report.
+type Finding struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+// String renders the finding in the canonical file:line: [rule] message form.
+// File paths are kept as produced by the loader (module-relative).
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Rule, f.Msg)
+}
+
+// Analyzer is one named rule over a type-checked package.
+type Analyzer struct {
+	// Name is the rule id used in reports and ignore directives.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run reports the rule's findings for one package.
+	Run func(p *Package) []Finding
+}
+
+// Analyzers returns the full suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		analyzerNoDeterminism,
+		analyzerLockSafe,
+		analyzerErrcheckWire,
+		analyzerBigintAlias,
+		analyzerMetricsNilsafe,
+	}
+}
+
+// AnalyzerNames returns the known rule ids, sorted.
+func AnalyzerNames() []string {
+	names := make([]string, 0, len(Analyzers()))
+	for _, a := range Analyzers() {
+		names = append(names, a.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ByName returns the analyzer with the given rule id, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Options configures a Run.
+type Options struct {
+	// Dir is the working directory (the module root is discovered from it).
+	// Empty means the process working directory.
+	Dir string
+	// Patterns are package patterns: "./..." (the default when empty),
+	// "./dir/..." or "./dir".
+	Patterns []string
+	// Rules selects a subset of analyzers by name; empty means all. Unknown
+	// names are rejected with an error.
+	Rules []string
+}
+
+// TypecheckRule is the pseudo-rule under which loader and type-check errors
+// are reported. It cannot be selected or suppressed: a package that does not
+// type-check cannot be trusted to lint clean.
+const TypecheckRule = "typecheck"
+
+// Run loads the requested packages and applies the selected analyzers.
+// Findings come back sorted by position; type-check and parse errors are
+// reported as findings under the "typecheck" pseudo-rule rather than
+// aborting the run, so a broken package degrades to a report, not a panic.
+func Run(opts Options) ([]Finding, error) {
+	analyzers := Analyzers()
+	if len(opts.Rules) > 0 {
+		analyzers = nil
+		for _, name := range opts.Rules {
+			a := ByName(name)
+			if a == nil {
+				return nil, fmt.Errorf("unknown rule %q (known: %s)", name, strings.Join(AnalyzerNames(), ", "))
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	ld, err := newLoader(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	patterns := opts.Patterns
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	paths, err := ld.expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	var findings []Finding
+	for _, path := range paths {
+		pkg, err := ld.loadModulePackage(path)
+		if err != nil {
+			// A package that cannot be loaded at all (unreadable dir, no Go
+			// files) is an environment error, not a lint finding.
+			return nil, fmt.Errorf("load %s: %w", path, err)
+		}
+		findings = append(findings, CheckPackage(pkg, analyzers)...)
+	}
+	sortFindings(findings)
+	return findings, nil
+}
+
+// CheckPackage applies analyzers to one loaded package: type errors become
+// typecheck findings, analyzer findings pass through the package's ignore
+// directives, and malformed or unknown-rule directives are reported.
+func CheckPackage(pkg *Package, analyzers []*Analyzer) []Finding {
+	var findings []Finding
+	for _, te := range pkg.TypeErrors {
+		findings = append(findings, Finding{
+			Pos:  relPosition(pkg.Fset, te.Pos),
+			Rule: TypecheckRule,
+			Msg:  te.Msg,
+		})
+	}
+	ignores, bad := collectIgnores(pkg)
+	findings = append(findings, bad...)
+	for _, a := range analyzers {
+		for _, f := range a.Run(pkg) {
+			if ignores.matches(f) {
+				continue
+			}
+			findings = append(findings, f)
+		}
+	}
+	sortFindings(findings)
+	return findings
+}
+
+// Format renders findings one per line — the golden-file format.
+func Format(findings []Finding) string {
+	var b strings.Builder
+	for _, f := range findings {
+		b.WriteString(f.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
+	})
+}
+
+// relPosition resolves a token.Pos to a position with a path relative to the
+// current working directory when possible, keeping reports stable across
+// machines.
+func relPosition(fset *token.FileSet, pos token.Pos) token.Position {
+	p := fset.Position(pos)
+	if rel, err := filepath.Rel(".", p.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		p.Filename = rel
+	}
+	return p
+}

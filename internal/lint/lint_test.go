@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// checkFixture loads one testdata package under a claimed import path and
+// returns the formatted findings of the full suite.
+func checkFixture(t *testing.T, name, importPath string) string {
+	t.Helper()
+	pkg, err := LoadPackage(filepath.Join("testdata", "src", name), importPath)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", name, err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("fixture %s does not type-check: %v", name, pkg.TypeErrors[0])
+	}
+	return Format(CheckPackage(pkg, Analyzers()))
+}
+
+// golden compares got against testdata/<name>.golden, rewriting it under
+// -update.
+func golden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run go test -run %s -update to create): %v", t.Name(), err)
+	}
+	if got != string(want) {
+		t.Errorf("findings mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestNoDeterminismGolden(t *testing.T) {
+	golden(t, "nodeterminism", checkFixture(t, "nodeterminism", "toposhot/internal/sim/fixture"))
+}
+
+func TestLockSafeGolden(t *testing.T) {
+	golden(t, "locksafe", checkFixture(t, "locksafe", "toposhot/internal/node/fixture"))
+}
+
+func TestErrcheckWireGolden(t *testing.T) {
+	golden(t, "errcheckwire", checkFixture(t, "errcheckwire", "toposhot/internal/node/wirefixture"))
+}
+
+func TestBigintAliasGolden(t *testing.T) {
+	golden(t, "bigintalias", checkFixture(t, "bigintalias", "toposhot/internal/txpool/fixture"))
+}
+
+func TestMetricsNilsafeGolden(t *testing.T) {
+	golden(t, "metricsnilsafe", checkFixture(t, "metricsnilsafe", "toposhot/internal/node/metricsfixture"))
+}
+
+// TestIgnoreDirectives covers suppression (line-above and trailing), the
+// unknown-rule directive error, and the missing-reason directive error.
+func TestIgnoreDirectives(t *testing.T) {
+	got := checkFixture(t, "ignore", "toposhot/internal/sim/fixture")
+	golden(t, "ignore", got)
+
+	// The two well-formed directives must have suppressed their findings:
+	// exactly the two unsuppressed time.Now sites remain as nodeterminism.
+	if n := strings.Count(got, "[nodeterminism]"); n != 2 {
+		t.Errorf("want 2 unsuppressed nodeterminism findings, got %d:\n%s", n, got)
+	}
+	if !strings.Contains(got, "unknown rule") {
+		t.Errorf("unknown-rule directive not reported:\n%s", got)
+	}
+	if !strings.Contains(got, "malformed ignore directive") {
+		t.Errorf("missing-reason directive not reported:\n%s", got)
+	}
+}
+
+// TestUnknownRuleRejected: selecting a rule that does not exist fails fast.
+func TestUnknownRuleRejected(t *testing.T) {
+	_, err := Run(Options{Rules: []string{"nosuchrule"}})
+	if err == nil || !strings.Contains(err.Error(), "unknown rule") {
+		t.Fatalf("want unknown-rule error, got %v", err)
+	}
+}
+
+// TestBrokenPackageReports: a package with a type error degrades to a
+// typecheck finding, not a panic or an aborted run.
+func TestBrokenPackageReports(t *testing.T) {
+	pkg, err := LoadPackage(filepath.Join("testdata", "src", "broken"), "toposhot/internal/brokenfixture")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	findings := CheckPackage(pkg, Analyzers())
+	if len(findings) == 0 {
+		t.Fatal("want at least one typecheck finding, got none")
+	}
+	for _, f := range findings {
+		if f.Rule != TypecheckRule {
+			t.Errorf("unexpected non-typecheck finding: %s", f)
+		}
+	}
+	if !strings.Contains(Format(findings), "undefinedSymbol") {
+		t.Errorf("typecheck finding does not mention the undefined symbol:\n%s", Format(findings))
+	}
+}
+
+// TestByName covers rule lookup used by the CLI's -rules flag.
+func TestByName(t *testing.T) {
+	for _, name := range AnalyzerNames() {
+		if ByName(name) == nil {
+			t.Errorf("ByName(%q) = nil for a listed rule", name)
+		}
+	}
+	if ByName("bogus") != nil {
+		t.Error("ByName(bogus) should be nil")
+	}
+	if len(AnalyzerNames()) < 5 {
+		t.Errorf("want at least 5 analyzers, got %v", AnalyzerNames())
+	}
+}
+
+// TestTreeClean runs the full suite over the real module: the tree must lint
+// clean, so reintroducing any fixture violation fails this test as well as
+// the CI lint job.
+func TestTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module load in -short mode")
+	}
+	findings, err := Run(Options{Dir: "../.."})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(findings) > 0 {
+		t.Errorf("module tree is not lint-clean:\n%s", Format(findings))
+	}
+}

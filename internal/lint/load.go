@@ -1,0 +1,309 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package handed to analyzers.
+type Package struct {
+	// Path is the package's import path (e.g. "toposhot/internal/node").
+	Path string
+	// Fset positions every file in the package.
+	Fset *token.FileSet
+	// Files are the parsed (non-test) source files, sorted by file name.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info carries expression types and object resolution for the files.
+	Info *types.Info
+	// TypeErrors collects type-check diagnostics. A non-empty list means
+	// Info may be partial; analyzers must tolerate missing entries.
+	TypeErrors []types.Error
+}
+
+// loader resolves and type-checks module packages, delegating everything
+// outside the module to a go/importer "source" importer so the suite works
+// with nothing but a GOROOT source tree.
+type loader struct {
+	fset    *token.FileSet
+	modRoot string
+	modPath string
+	pkgs    map[string]*Package
+	loading map[string]bool
+	std     types.Importer
+}
+
+func newLoader(dir string) (*loader, error) {
+	if dir == "" {
+		dir = "."
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modRoot, err := findModuleRoot(abs)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := readModulePath(filepath.Join(modRoot, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	// Stdlib packages are type-checked from GOROOT source; disabling cgo
+	// selects the pure-Go variants (net's DNS resolver and friends), which
+	// is all type analysis needs.
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	return &loader{
+		fset:    fset,
+		modRoot: modRoot,
+		modPath: modPath,
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+		std:     importer.ForCompiler(fset, "source", nil),
+	}, nil
+}
+
+// findModuleRoot walks upward from dir to the directory holding go.mod.
+func findModuleRoot(dir string) (string, error) {
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// readModulePath extracts the module path from a go.mod file.
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("no module directive in %s", gomod)
+}
+
+// expand resolves package patterns ("./...", "./dir/...", "./dir") to a
+// sorted list of module import paths.
+func (l *loader) expand(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+		} else if pat == "..." {
+			recursive = true
+			pat = "."
+		}
+		pat = strings.TrimPrefix(pat, "./")
+		if pat == "" || pat == "." {
+			pat = "."
+		}
+		root := filepath.Join(l.modRoot, filepath.FromSlash(pat))
+		if !recursive {
+			if !hasGoFiles(root) {
+				return nil, fmt.Errorf("no Go files in %s", root)
+			}
+			add(l.importPathFor(root))
+			continue
+		}
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(l.importPathFor(path))
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// importPathFor maps a directory inside the module to its import path.
+func (l *loader) importPathFor(dir string) string {
+	rel, err := filepath.Rel(l.modRoot, dir)
+	if err != nil || rel == "." {
+		return l.modPath
+	}
+	return l.modPath + "/" + filepath.ToSlash(rel)
+}
+
+// hasGoFiles reports whether dir holds at least one non-test Go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if sourceFile(e) {
+			return true
+		}
+	}
+	return false
+}
+
+func sourceFile(e os.DirEntry) bool {
+	name := e.Name()
+	return !e.IsDir() && strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_")
+}
+
+// Import implements types.Importer: module-internal paths load from source
+// through this loader; everything else (the standard library) goes through
+// the source importer. The "unsafe" pseudo-package is special-cased.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		p, err := l.loadModulePackage(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// loadModulePackage parses and type-checks one module package (memoized).
+func (l *loader) loadModulePackage(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modPath), "/")
+	dir := filepath.Join(l.modRoot, filepath.FromSlash(rel))
+	p, err := l.checkDir(dir, path)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// checkDir parses every non-test Go file in dir and type-checks the result
+// under the given import path. Parse and type errors do not abort: they are
+// recorded on the package for reporting, and analysis proceeds on whatever
+// information survived.
+func (l *loader) checkDir(dir, path string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{Path: path, Fset: l.fset}
+	var names []string
+	for _, e := range entries {
+		if sourceFile(e) {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	sort.Strings(names)
+	displayDir := dir
+	if rel, rerr := filepath.Rel(l.modRoot, dir); rerr == nil {
+		displayDir = rel
+	}
+	for _, name := range names {
+		src, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		file, err := parser.ParseFile(l.fset, filepath.ToSlash(filepath.Join(displayDir, name)), src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			// Report the parse failure as a type error and analyze the rest.
+			pkg.TypeErrors = append(pkg.TypeErrors, types.Error{
+				Fset: l.fset,
+				Msg:  err.Error(),
+			})
+			if file == nil {
+				continue
+			}
+		}
+		pkg.Files = append(pkg.Files, file)
+	}
+
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer: l,
+		Error: func(err error) {
+			if te, ok := err.(types.Error); ok {
+				pkg.TypeErrors = append(pkg.TypeErrors, te)
+			}
+		},
+	}
+	// Check records its result even when errors occurred; the error return
+	// duplicates the first collected diagnostic, so it is deliberately
+	// dropped here — TypeErrors carries the full list.
+	tpkg, _ := conf.Check(path, l.fset, pkg.Files, pkg.Info)
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+// LoadPackage parses and type-checks the single package in dir under the
+// claimed import path. It is the entry point tests use to load fixture
+// packages from testdata (which the normal pattern walk skips). The claimed
+// path controls path-scoped rules, so a fixture can opt into, say, the
+// simulation-package determinism checks.
+func LoadPackage(dir, importPath string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	ld, err := newLoader(abs)
+	if err != nil {
+		return nil, err
+	}
+	return ld.checkDir(abs, importPath)
+}

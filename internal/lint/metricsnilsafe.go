@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+var analyzerMetricsNilsafe = &Analyzer{
+	Name: "metrics-nilsafe",
+	Doc:  "internal/metrics instruments are nil-safe; never nil-compare or dereference them after lookup",
+	Run:  runMetricsNilsafe,
+}
+
+// metricsPkg is the instrumentation package whose instrument types carry
+// nil-safe methods. The Registry type is deliberately not an instrument:
+// nil-checking a registry is how call sites decide whether metrics are on.
+var metricsPkg = modulePrefix + "/internal/metrics"
+
+var instrumentTypes = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true,
+}
+
+func runMetricsNilsafe(pkg *Package) []Finding {
+	if pkg.Path == metricsPkg {
+		return nil // the package that implements nil-safety may inspect nil
+	}
+	var findings []Finding
+	info := pkg.Info
+	isInstrument := func(e ast.Expr) (string, bool) {
+		tv, ok := info.Types[e]
+		if !ok || tv.Type == nil {
+			return "", false
+		}
+		n := recvNamed(tv.Type)
+		if n == nil || n.Obj().Pkg() == nil {
+			return "", false
+		}
+		if n.Obj().Pkg().Path() == metricsPkg && instrumentTypes[n.Obj().Name()] {
+			return n.Obj().Name(), true
+		}
+		return "", false
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.BinaryExpr:
+				if x.Op != token.EQL && x.Op != token.NEQ {
+					return true
+				}
+				var other ast.Expr
+				if isNil(info, x.X) {
+					other = x.Y
+				} else if isNil(info, x.Y) {
+					other = x.X
+				} else {
+					return true
+				}
+				if name, ok := isInstrument(other); ok {
+					findings = append(findings, report(pkg, x, "metrics-nilsafe",
+						"nil comparison of metrics."+name+"; instrument methods are nil-safe, call them unconditionally"))
+				}
+			case *ast.StarExpr:
+				// A StarExpr in value position is a dereference; in type
+				// position it is pointer syntax — the latter has IsType set.
+				if tv, ok := info.Types[x]; ok && tv.IsType() {
+					return true
+				}
+				if name, ok := isInstrument(x.X); ok {
+					findings = append(findings, report(pkg, x, "metrics-nilsafe",
+						"dereference of metrics."+name+"; a nil instrument would panic — use its methods instead"))
+				}
+			}
+			return true
+		})
+	}
+	return findings
+}

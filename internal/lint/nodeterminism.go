@@ -1,0 +1,215 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// nodeterminismScope lists the packages whose results must be reproducible
+// from a seed: the simulators, the measurement core, topology generation, and
+// the pool model the simulator drives.
+var nodeterminismScope = []string{
+	modulePrefix + "/internal/sim",
+	modulePrefix + "/internal/ethsim",
+	modulePrefix + "/internal/core",
+	modulePrefix + "/internal/netgen",
+	modulePrefix + "/internal/txpool",
+}
+
+// timeBanned are time-package functions that read the wall clock or real
+// timers. Simulation code must take time from the engine's virtual clock.
+var timeBanned = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "After": true,
+	"Tick": true, "NewTimer": true, "NewTicker": true, "AfterFunc": true,
+	"Sleep": true,
+}
+
+// randAllowed are math/rand package-level functions that construct seeded
+// sources rather than drawing from the global (racily seeded) source.
+var randAllowed = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+var analyzerNoDeterminism = &Analyzer{
+	Name: "nodeterminism",
+	Doc:  "simulation packages must be seed-reproducible: no wall clock, no global math/rand, no map-iteration-order-dependent results",
+	Run:  runNoDeterminism,
+}
+
+func runNoDeterminism(pkg *Package) []Finding {
+	if !pathIn(pkg.Path, nodeterminismScope...) {
+		return nil
+	}
+	var findings []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := calleeObject(pkg.Info, call)
+			switch objectPkgPath(obj) {
+			case "time":
+				if timeBanned[obj.Name()] {
+					findings = append(findings, report(pkg, call, "nodeterminism",
+						"call to time."+obj.Name()+" in a simulation package; take time from the engine's virtual clock"))
+				}
+			case "math/rand", "math/rand/v2":
+				// Methods on *rand.Rand carry a receiver and are fine; only
+				// package-level draws hit the shared global source.
+				if fn, isFn := obj.(*types.Func); isFn {
+					if sig, sok := fn.Type().(*types.Signature); sok && sig.Recv() == nil && !randAllowed[obj.Name()] {
+						findings = append(findings, report(pkg, call, "nodeterminism",
+							"global math/rand."+obj.Name()+" in a simulation package; use a seeded rand.New(rand.NewSource(...))"))
+					}
+				}
+			}
+			return true
+		})
+	}
+	findings = append(findings, mapOrderFindings(pkg)...)
+	return findings
+}
+
+// mapOrderFindings flags loops whose results depend on map iteration order:
+// within a `for ... range m` over a map, (a) appending to a slice declared
+// outside the loop that is never handed to the sort package in the enclosing
+// function, and (b) accumulating floating-point sums (addition over map order
+// is not associative in floating point).
+func mapOrderFindings(pkg *Package) []Finding {
+	var findings []Finding
+	forEachFunc(pkg, func(body *ast.BlockStmt) {
+		sorted := sortedObjects(pkg.Info, body)
+		ast.Inspect(body, func(n ast.Node) bool {
+			if _, isLit := n.(*ast.FuncLit); isLit {
+				return false // visited standalone by forEachFunc
+			}
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pkg.Info.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			findings = append(findings, checkMapRangeBody(pkg, rng, sorted)...)
+			return true
+		})
+	})
+	return findings
+}
+
+// forEachFunc visits every function body in the package: declarations and
+// function literals, each exactly once (literals are visited standalone, so
+// callers must not descend into them again).
+func forEachFunc(pkg *Package, visit func(body *ast.BlockStmt)) {
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					visit(fn.Body)
+				}
+			case *ast.FuncLit:
+				visit(fn.Body)
+			}
+			return true
+		})
+	}
+}
+
+// sortedObjects collects the variables that appear in arguments to any
+// sort-package call within the function body. A slice built in map order but
+// sorted before use is deterministic, so appends into these are not flagged.
+func sortedObjects(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := calleeObject(info, call)
+		if objectPkgPath(obj) != "sort" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if id, isID := a.(*ast.Ident); isID {
+					if v, isVar := info.Uses[id].(*types.Var); isVar {
+						out[v] = true
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return out
+}
+
+// checkMapRangeBody scans one map-range body for order-dependent writes.
+func checkMapRangeBody(pkg *Package, rng *ast.RangeStmt, sorted map[types.Object]bool) []Finding {
+	var findings []Finding
+	info := pkg.Info
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false // analyzed as its own function
+		}
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		// Float accumulation: sum += v or sum = sum + v with a float type.
+		if asg.Tok == token.ADD_ASSIGN && len(asg.Lhs) == 1 {
+			if tv, tok := info.Types[asg.Lhs[0]]; tok && isFloat(tv.Type) {
+				findings = append(findings, report(pkg, asg, "nodeterminism",
+					"floating-point accumulation over map iteration order; iterate a sorted copy of the keys"))
+				return true
+			}
+		}
+		// append into a variable that is never sorted afterwards.
+		for i, rhs := range asg.Rhs {
+			if len(asg.Lhs) != len(asg.Rhs) {
+				break
+			}
+			call, isCall := ast.Unparen(rhs).(*ast.CallExpr)
+			if !isCall {
+				continue
+			}
+			if id, isID := ast.Unparen(call.Fun).(*ast.Ident); !isID || info.Uses[id] != types.Universe.Lookup("append") {
+				continue
+			}
+			id, isID := ast.Unparen(asg.Lhs[i]).(*ast.Ident)
+			if !isID {
+				continue
+			}
+			v, isVar := info.Uses[id].(*types.Var)
+			if !isVar && info.Defs[id] != nil {
+				v, isVar = info.Defs[id].(*types.Var)
+			}
+			if !isVar || sorted[v] || declaredWithin(info, v, rng.Body) {
+				continue
+			}
+			findings = append(findings, report(pkg, asg, "nodeterminism",
+				"append to "+id.Name+" in map iteration order without a subsequent sort; sort the keys or the result"))
+		}
+		return true
+	})
+	return findings
+}
+
+// declaredWithin reports whether v's declaration position falls inside the
+// given block — a loop-local slice reset each iteration carries no cross-
+// iteration order dependence.
+func declaredWithin(info *types.Info, v *types.Var, block *ast.BlockStmt) bool {
+	return v.Pos() >= block.Pos() && v.Pos() <= block.End()
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

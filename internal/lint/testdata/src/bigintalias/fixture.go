@@ -1,0 +1,30 @@
+// Package fixture exercises the bigint-alias analyzer: caller-provided
+// *big.Int values stored or mutated instead of copied.
+package fixture
+
+import "math/big"
+
+type order struct {
+	price *big.Int
+}
+
+// setPrice stores the caller's pointer; a later mutation by the caller
+// rewrites the stored price.
+func (o *order) setPrice(p *big.Int) {
+	o.price = p
+}
+
+// newOrder aliases through a composite literal.
+func newOrder(p *big.Int) *order {
+	return &order{price: p}
+}
+
+// bump mutates the caller's value in place.
+func bump(p *big.Int) *big.Int {
+	return p.Add(p, big.NewInt(1))
+}
+
+// newOrderCopy is the sanctioned shape: a defensive copy.
+func newOrderCopy(p *big.Int) *order {
+	return &order{price: new(big.Int).Set(p)}
+}

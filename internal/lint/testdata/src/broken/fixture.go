@@ -1,0 +1,7 @@
+// Package broken does not type-check: the driver must degrade to a
+// typecheck report, not panic.
+package broken
+
+func addOne(n int) int {
+	return n + undefinedSymbol
+}

@@ -1,0 +1,43 @@
+// Package fixture exercises the errcheck-wire analyzer: discarded errors
+// from the protocol packages and from net deadline/write calls.
+package fixture
+
+import (
+	"net"
+	"time"
+
+	"toposhot/internal/rlp"
+	"toposhot/internal/wire"
+)
+
+// dropDecode throws the decode result away entirely.
+func dropDecode(b []byte) {
+	rlp.Decode(b)
+}
+
+// blankDecode keeps the item but blanks the error.
+func blankDecode(b []byte) rlp.Item {
+	it, _ := rlp.Decode(b)
+	return it
+}
+
+// blankDeadline ignores a failed deadline arm — the unbounded-stall bug.
+func blankDeadline(c net.Conn) {
+	_ = c.SetReadDeadline(time.Time{})
+}
+
+// goWrite fires a frame into a goroutine nobody checks.
+func goWrite(c net.Conn, m wire.Msg) {
+	go wire.WriteMsg(c, m)
+}
+
+// deferWrite defers a frame write whose error vanishes.
+func deferWrite(c net.Conn, m wire.Msg) {
+	defer wire.WriteMsg(c, m)
+}
+
+// checked is the sanctioned shape.
+func checked(b []byte) error {
+	_, err := rlp.Decode(b)
+	return err
+}

@@ -1,0 +1,29 @@
+// Package fixture exercises //lint:ignore handling. Loaded under a
+// simulation-scope import path so time.Now is a nodeterminism finding.
+package fixture
+
+import "time"
+
+// suppressedAbove carries a directive on the line above the finding.
+func suppressedAbove() time.Time {
+	//lint:ignore nodeterminism fixture demonstrates suppression
+	return time.Now()
+}
+
+// suppressedTrailing carries the directive on the finding's own line.
+func suppressedTrailing() time.Time {
+	return time.Now() //lint:ignore nodeterminism trailing placement also suppresses
+}
+
+// unknownRule names a rule that does not exist: the directive is itself an
+// error and suppresses nothing.
+func unknownRule() time.Time {
+	//lint:ignore nosuchrule bogus
+	return time.Now()
+}
+
+// missingReason omits the mandatory reason: malformed, suppresses nothing.
+func missingReason() time.Time {
+	//lint:ignore nodeterminism
+	return time.Now()
+}

@@ -1,0 +1,28 @@
+// Package fixture exercises the metrics-nilsafe analyzer: instruments are
+// nil-safe and must not be nil-compared or dereferenced.
+package fixture
+
+import "toposhot/internal/metrics"
+
+// guarded nil-checks an instrument before use — the guard the nil-safe
+// methods exist to delete.
+func guarded(c *metrics.Counter) {
+	if c != nil {
+		c.Inc()
+	}
+}
+
+// deref copies through the pointer; a nil instrument panics here.
+func deref(g *metrics.Gauge) metrics.Gauge {
+	return *g
+}
+
+// direct is the sanctioned shape: call the methods unconditionally. Registry
+// nil checks stay legal — that is how call sites detect disabled metrics.
+func direct(r *metrics.Registry, c *metrics.Counter, h *metrics.Histogram) {
+	if r == nil {
+		return
+	}
+	c.Inc()
+	h.Observe(1)
+}

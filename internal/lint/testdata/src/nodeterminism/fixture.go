@@ -1,0 +1,55 @@
+// Package fixture exercises the nodeterminism analyzer. The test loads it
+// under the claimed import path toposhot/internal/sim/fixture so the
+// simulation-scope checks apply.
+package fixture
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// wallClock reads the wall clock in a simulation path.
+func wallClock() time.Time {
+	return time.Now()
+}
+
+// globalRand draws from the shared global source.
+func globalRand() int {
+	return rand.Intn(10)
+}
+
+// seeded is the sanctioned pattern: an explicit seeded source.
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// unsortedKeys leaks map iteration order into its result.
+func unsortedKeys(m map[int]string) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// sortedKeys is the sanctioned pattern: collect, then sort.
+func sortedKeys(m map[int]string) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// floatSum accumulates floats in map iteration order; addition order changes
+// the rounding.
+func floatSum(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
