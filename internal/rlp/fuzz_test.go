@@ -1,0 +1,39 @@
+package rlp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRLPDecode drives Decode with arbitrary bytes. Two properties:
+// Decode never panics, and — because the decoder enforces canonical RLP —
+// any input it accepts must re-encode to exactly the same bytes.
+func FuzzRLPDecode(f *testing.F) {
+	// Seeds: the spec vectors from TestSpecVectors, a nested structure, and
+	// truncated long-form headers.
+	seeds := [][]byte{
+		{0x83, 'd', 'o', 'g'},
+		{0xc8, 0x83, 'c', 'a', 't', 0x83, 'd', 'o', 'g'},
+		{0x80},
+		{0xc0},
+		{0x0f},
+		{0x82, 0x04, 0x00},
+		{0xc7, 0xc0, 0xc1, 0xc0, 0xc3, 0xc0, 0xc1, 0xc0},
+		Encode(List(Uint(1024), String("toposhot"), List(Bytes([]byte{0xff})))),
+		Encode(Bytes(bytes.Repeat([]byte{0xab}, 64))),
+		{0xb8, 0x38},
+		{0xf8},
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		it, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if enc := Encode(it); !bytes.Equal(enc, data) {
+			t.Fatalf("accepted non-canonical input: decoded %x, re-encoded %x", data, enc)
+		}
+	})
+}
