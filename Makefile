@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race check bench
+.PHONY: build vet lint test race check bench fuzz
 
 build:
 	$(GO) build ./...
@@ -8,14 +8,26 @@ build:
 vet:
 	$(GO) vet ./...
 
+# lint runs the project-specific analyzers (see internal/lint and DESIGN.md):
+# determinism, lock discipline, wire-error hygiene, big.Int aliasing, and
+# metrics nil-safety. Non-zero exit on any finding.
+lint:
+	$(GO) run ./cmd/toposhotlint ./...
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
 
-# check is what CI runs: build, vet, and the full race-enabled test suite.
-check: build vet race
+# check is what CI runs: build, vet, lint, and the race-enabled test suite.
+check: build vet lint race
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# fuzz gives the protocol decoders a short native-fuzz shake (CI runs the
+# same targets in a non-blocking job).
+fuzz:
+	$(GO) test -fuzz=FuzzRLPDecode -fuzztime=30s ./internal/rlp/
+	$(GO) test -fuzz=FuzzFrameParse -fuzztime=30s ./internal/wire/
