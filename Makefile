@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race check bench fuzz
+.PHONY: build vet lint test race check bench bench-smoke fuzz
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,13 @@ check: build vet lint race
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# bench-smoke is the quarter-scale (-short) single-iteration pass CI runs in
+# a non-blocking job. The -json event stream lands in BENCH_<id>.json so runs
+# can be diffed across revisions; BENCH_ID defaults to the git short hash.
+BENCH_ID ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
+bench-smoke:
+	$(GO) test -short -bench . -benchtime 1x -run '^$$' -json . | tee BENCH_$(BENCH_ID).json
 
 # fuzz gives the protocol decoders a short native-fuzz shake (CI runs the
 # same targets in a non-blocking job).

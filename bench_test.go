@@ -13,17 +13,44 @@ package toposhot
 // quarter-scale smoke pass.
 
 import (
+	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
 	"sync"
 	"testing"
 
 	"toposhot/internal/experiments"
 	"toposhot/internal/graph"
+	"toposhot/internal/runner"
 	"toposhot/internal/txpool"
 )
 
 const benchSeed = 42
+
+// TestMain sizes the experiment runner's worker pool for the whole suite.
+// `go test -parallel N` doubles as the knob (its default is GOMAXPROCS,
+// which is also the runner's default); TOPOSHOT_PARALLEL overrides it when
+// the test-framework flag needs to stay independent. Parallelism changes
+// wall-clock only: every experiment is pinned byte-identical to its serial
+// run by the equivalence tests in internal/experiments.
+func TestMain(m *testing.M) {
+	flag.Parse()
+	n := runtime.GOMAXPROCS(0)
+	if f := flag.Lookup("test.parallel"); f != nil {
+		if v, err := strconv.Atoi(f.Value.String()); err == nil && v > 0 {
+			n = v
+		}
+	}
+	if env := os.Getenv("TOPOSHOT_PARALLEL"); env != "" {
+		if v, err := strconv.Atoi(env); err == nil && v > 0 {
+			n = v
+		}
+	}
+	runner.SetParallelism(n)
+	os.Exit(m.Run())
+}
 
 // benchVerbose mirrors experiment output to stderr when TOPOSHOT_PRINT=1.
 func benchPrint(b *testing.B, s string) {
@@ -90,15 +117,8 @@ func BenchmarkFig5ParallelSpeedup(b *testing.B) {
 	}
 }
 
-// censusOnce shares the three testnet campaigns across benchmarks.
-var (
-	censusMu sync.Mutex
-)
-
-func benchCensus(b *testing.B, name string) *experiments.Census {
-	b.Helper()
-	censusMu.Lock()
-	defer censusMu.Unlock()
+// benchCensusConfig resolves a named campaign at the suite's scale.
+func benchCensusConfig(name string) experiments.CensusConfig {
 	var cfg experiments.CensusConfig
 	switch name {
 	case "rinkeby":
@@ -114,7 +134,26 @@ func benchCensus(b *testing.B, name string) *experiments.Census {
 	case os.Getenv("TOPOSHOT_FULL") == "":
 		cfg.Grow = cfg.Grow.WithN(cfg.Grow.N / 2)
 	}
-	c, err := experiments.CachedCensus(cfg)
+	return cfg
+}
+
+// censusPrewarm launches all three testnet campaigns on the first census
+// request. Each census is one serial engine, but the three are independent,
+// so warming them concurrently costs the wall-clock of the slowest instead
+// of the sum; the singleflight cache in experiments shares each run across
+// every benchmark that analyzes the same testnet.
+var censusPrewarm sync.Once
+
+func benchCensus(b *testing.B, name string) *experiments.Census {
+	b.Helper()
+	censusPrewarm.Do(func() {
+		experiments.PrewarmCensuses(
+			benchCensusConfig("ropsten"),
+			benchCensusConfig("rinkeby"),
+			benchCensusConfig("goerli"),
+		)
+	})
+	c, err := experiments.CachedCensus(benchCensusConfig(name))
 	if err != nil {
 		b.Fatalf("census %s: %v", name, err)
 	}

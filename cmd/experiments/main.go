@@ -20,6 +20,7 @@ import (
 
 	"toposhot/internal/experiments"
 	"toposhot/internal/metrics"
+	runnerpool "toposhot/internal/runner"
 	"toposhot/internal/txpool"
 )
 
@@ -158,9 +159,12 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments")
 	run := flag.String("run", "", "comma-separated experiment names, or 'all'")
 	seed := flag.Int64("seed", 42, "simulation seed")
+	parallel := flag.Int("parallel", 0, "worker-pool width for independent simulations (0 = GOMAXPROCS, 1 = serial); results are identical at any width")
 	withMetrics := flag.Bool("metrics", false, "print periodic progress lines and a final metrics snapshot to stderr")
 	metricsEvery := flag.Duration("metrics-interval", 10*time.Second, "progress line interval under -metrics")
 	flag.Parse()
+
+	runnerpool.SetParallelism(*parallel)
 
 	if *withMetrics {
 		reg := metrics.NewRegistry()
@@ -191,6 +195,31 @@ func main() {
 		names = append(names, r.name)
 	}
 	sort.Strings(names)
+
+	// Start the censuses the selected experiments will need before the
+	// (serial) experiment loop: the three testnets build concurrently and
+	// each CachedCensus call below joins its in-flight run.
+	censusNeeds := map[string][]string{
+		"fig6": {"ropsten"}, "table4": {"ropsten"}, "table5": {"ropsten"},
+		"table7": {"ropsten", "rinkeby", "goerli"},
+		"fig8": {"rinkeby"}, "fig9": {"goerli"},
+		"table9": {"rinkeby"}, "table10": {"goerli"},
+	}
+	needed := map[string]bool{}
+	var prewarm []experiments.CensusConfig
+	for _, r := range rs {
+		if !all && !want[strings.ToLower(r.name)] {
+			continue
+		}
+		for _, n := range censusNeeds[strings.ToLower(r.name)] {
+			if !needed[n] {
+				needed[n] = true
+				prewarm = append(prewarm, censusFor(n, *seed))
+			}
+		}
+	}
+	experiments.PrewarmCensuses(prewarm...)
+
 	ran := 0
 	for _, r := range rs {
 		if !all && !want[strings.ToLower(r.name)] {

@@ -21,6 +21,7 @@ import (
 	"toposhot/internal/ethsim"
 	"toposhot/internal/metrics"
 	"toposhot/internal/netgen"
+	"toposhot/internal/runner"
 	"toposhot/internal/txpool"
 	"toposhot/internal/types"
 )
@@ -32,9 +33,15 @@ func main() {
 	preset := flag.String("preset", "", "testnet preset: ropsten|rinkeby|goerli (overrides -n)")
 	out := flag.String("out", "", "output file (default stdout)")
 	uniform := flag.Bool("uniform", false, "all-default nodes (no heterogeneity)")
+	parallel := flag.Int("parallel", 0, "worker-pool width for independent simulations (0 = GOMAXPROCS, 1 = serial); results are identical at any width")
 	withMetrics := flag.Bool("metrics", false, "print periodic progress lines and a final metrics snapshot to stderr")
 	metricsEvery := flag.Duration("metrics-interval", 10*time.Second, "progress line interval under -metrics")
 	flag.Parse()
+
+	// One campaign is one serial engine, so this knob matters only for the
+	// pool-backed helpers underneath (and keeps the flag uniform with
+	// cmd/experiments and the benchmark harness).
+	runner.SetParallelism(*parallel)
 
 	var reg *metrics.Registry
 	if *withMetrics {

@@ -109,6 +109,10 @@ type Measurer struct {
 	// pre-processing (nodes with enlarged mempools need a bigger Z).
 	ZOverride map[types.NodeID]int
 
+	// entryCandidates caches the flood-entry node scan for the duration of
+	// one MeasureNetwork run; nil means scan fresh on every MeasurePar call.
+	entryCandidates []types.NodeID
+
 	// Ledger accumulates cost accounting.
 	Ledger *Ledger
 

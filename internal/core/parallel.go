@@ -179,14 +179,17 @@ func sortedIDs(set map[types.NodeID]struct{}) []types.NodeID {
 
 // entryNodes picks nodes to seed txC floods through: preferably
 // non-participants (plain C nodes), falling back to sinks — whose state is
-// rebuilt during setup anyway.
+// rebuilt during setup anyway. Within a MeasureNetwork run the candidate
+// scan is computed once and reused across every MeasurePar batch; the node
+// set is static for the duration of a campaign, so the cached view filters
+// to exactly what a fresh scan would return.
 func (m *Measurer) entryNodes(sources, sinks map[types.NodeID]struct{}) []types.NodeID {
+	candidates := m.entryCandidates
+	if candidates == nil {
+		candidates = m.scanEntryCandidates()
+	}
 	var entries []types.NodeID
-	for _, nd := range m.net.Nodes() {
-		id := nd.ID()
-		if id == m.super.ID() || nd.Config().Unresponsive {
-			continue
-		}
+	for _, id := range candidates {
 		if _, ok := sources[id]; ok {
 			continue
 		}
@@ -202,6 +205,19 @@ func (m *Measurer) entryNodes(sources, sinks map[types.NodeID]struct{}) []types.
 		entries = sortedIDs(sinks)
 	}
 	return entries
+}
+
+// scanEntryCandidates walks the network once for flood entry candidates:
+// every responsive node except the supernode, in creation order.
+func (m *Measurer) scanEntryCandidates() []types.NodeID {
+	var out []types.NodeID
+	for _, nd := range m.net.Nodes() {
+		if nd.ID() == m.super.ID() || nd.Config().Unresponsive {
+			continue
+		}
+		out = append(out, nd.ID())
+	}
+	return out
 }
 
 // ScheduleResult reports a whole-network measurement.
@@ -230,6 +246,11 @@ func (m *Measurer) MeasureNetwork(nodes []types.NodeID, k, edgeBudget int) (*Sch
 	if edgeBudget < 1 {
 		edgeBudget = 2000
 	}
+	// Cache the flood-entry candidate scan for the whole campaign; no nodes
+	// join or leave mid-run. Cleared on exit so direct MeasurePar callers
+	// (which may add nodes between calls) keep the fresh-scan behaviour.
+	m.entryCandidates = m.scanEntryCandidates()
+	defer func() { m.entryCandidates = nil }()
 	start := m.net.Now()
 	out := &ScheduleResult{Detected: NewEdgeSet(), DetectedVia: make(map[[2]types.NodeID]types.Hash)}
 

@@ -1,6 +1,7 @@
 package ethsim
 
 import (
+	"fmt"
 	"testing"
 
 	"toposhot/internal/txpool"
@@ -257,6 +258,60 @@ func TestJanitorExpiresPools(t *testing.T) {
 	net.RunFor(30)
 	if nd.Pool().Has(tx.Hash()) {
 		t.Fatal("janitor did not expire the transaction")
+	}
+}
+
+// TestDeliveryWatermarksPruned: the per-link FIFO watermark map must not
+// grow without bound over a long run — janitor ticks drop watermarks older
+// than the latency horizon, and traffic that stops leaves the map empty.
+func TestDeliveryWatermarksPruned(t *testing.T) {
+	net := testNet(21)
+	ids := addNodes(net, 12, 256)
+	for i := range ids {
+		_ = net.Connect(ids[i], ids[(i+1)%len(ids)])
+		_ = net.Connect(ids[i], ids[(i+5)%len(ids)])
+	}
+	net.StartJanitor(5)
+	w := NewWorkload(net, 2, types.Gwei, 2*types.Gwei)
+	w.Start(0)
+	net.RunFor(60)
+	w.Stop()
+	if len(net.lastDelivery) == 0 {
+		t.Fatal("no watermarks while traffic flows — test is vacuous")
+	}
+	// All deliveries land within LatencyMax+SpikeMax; two janitor ticks
+	// beyond that horizon must clear every stale watermark.
+	net.RunFor(net.Config().LatencyMax + net.Config().SpikeMax + 11)
+	if n := len(net.lastDelivery); n != 0 {
+		t.Fatalf("%d stale watermarks survived the janitor", n)
+	}
+}
+
+// TestDeliveryPruningPreservesReplay: pruning only removes watermarks that
+// can never clamp a future delivery, so a run with aggressive janitor ticks
+// must replay identically to one with none.
+func TestDeliveryPruningPreservesReplay(t *testing.T) {
+	run := func(janitor float64) string {
+		net := testNet(33)
+		ids := addNodes(net, 10, 256)
+		for i := range ids {
+			_ = net.Connect(ids[i], ids[(i+1)%len(ids)])
+		}
+		if janitor > 0 {
+			net.StartJanitor(janitor)
+		}
+		w := NewWorkload(net, 3, types.Gwei, 2*types.Gwei)
+		w.Start(0)
+		net.RunFor(45)
+		w.Stop()
+		sum := ""
+		for _, id := range ids {
+			sum += fmt.Sprintf("%d/", net.Node(id).Pool().Len())
+		}
+		return sum
+	}
+	if a, b := run(0), run(0.5); a != b {
+		t.Fatalf("janitor pruning changed the replay: %s vs %s", a, b)
 	}
 }
 

@@ -309,6 +309,23 @@ func (n *Network) TickPools() {
 	for _, h := range n.janitorHooks {
 		h(now)
 	}
+	n.pruneDeliveryHorizon(now)
+}
+
+// pruneDeliveryHorizon drops per-link FIFO watermarks that can no longer
+// influence ordering. A new send scheduled at time t always lands at
+// t + latency ≤ t + LatencyMax + SpikeMax in the future, so a watermark older
+// than now minus that horizon is strictly below every future delivery time
+// and the FIFO clamp in send can never fire on it. Without pruning,
+// lastDelivery grows one entry per directed link ever used — unbounded over
+// multi-hour censuses on networks with churny peer sets.
+func (n *Network) pruneDeliveryHorizon(now float64) {
+	horizon := now - (n.cfg.LatencyMax + n.cfg.SpikeMax)
+	for link, last := range n.lastDelivery {
+		if last < horizon {
+			delete(n.lastDelivery, link)
+		}
+	}
 }
 
 // AddJanitorHook registers a callback run on every janitor tick (the

@@ -9,6 +9,7 @@ import (
 	"toposhot/internal/core"
 	"toposhot/internal/ethsim"
 	"toposhot/internal/netgen"
+	"toposhot/internal/runner"
 	"toposhot/internal/txpool"
 	"toposhot/internal/types"
 )
@@ -209,22 +210,12 @@ type AblationRow struct {
 
 // Ablations exercises the design choices DESIGN.md calls out: propagation
 // mode, announcement-lock duration, X calibration, and pre-processing.
+// Every row builds its own net from a row-specific seed, so the six rows
+// are independent simulations and run via the runner pool in fixed order.
 func Ablations(seed int64) []AblationRow {
-	var rows []AblationRow
-
 	// 1. Push-all vs push+announce propagation.
-	for _, mode := range []struct {
-		name string
-		het  netgen.Heterogeneity
-	}{
-		{"push+announce (default)", netgen.Uniform()},
-		{"legacy push-all", func() netgen.Heterogeneity {
-			h := netgen.Uniform()
-			h.LegacyPushFraction = 1.0
-			return h
-		}()},
-	} {
-		v := buildValidationNet(seed, 80, mode.het, 20)
+	propagation := func(name string, het netgen.Heterogeneity) AblationRow {
+		v := buildValidationNet(seed, 80, het, 20)
 		targets := v.measurableNeighbors()
 		truth := core.EdgeSetOf(v.net.Edges())
 		measured := core.NewEdgeSet()
@@ -240,13 +231,13 @@ func Ablations(seed int64) []AblationRow {
 			}
 		}
 		sc := core.ScoreAgainst(measured, mt, nil)
-		rows = append(rows, AblationRow{Name: "propagation: " + mode.name,
-			Precision: sc.Precision(), Recall: sc.Recall()})
+		return AblationRow{Name: "propagation: " + name,
+			Precision: sc.Precision(), Recall: sc.Recall()}
 	}
 
 	// 2. X too small vs calibrated: a short flood wait leaves txC missing
 	// on distant nodes, breaking isolation (false positives appear).
-	for _, x := range []float64{0.2, 10} {
+	floodWait := func(x float64) AblationRow {
 		v := buildValidationNet(seed+7, 120, netgen.Uniform(), 0)
 		params := v.m.Params()
 		params.X = x
@@ -268,16 +259,16 @@ func Ablations(seed int64) []AblationRow {
 			}
 		}
 		sc := core.ScoreAgainst(measured, mt, nil)
-		rows = append(rows, AblationRow{
+		return AblationRow{
 			Name:      fmt.Sprintf("flood wait X=%.1fs", x),
 			Precision: sc.Precision(), Recall: sc.Recall(),
-		})
+		}
 	}
 
 	// 3. Pre-processing off vs on over a future-forwarding population.
-	het := netgen.Uniform()
-	het.ForwardFuturesFraction = 0.15
-	for _, pre := range []bool{false, true} {
+	preprocessing := func(pre bool) AblationRow {
+		het := netgen.Uniform()
+		het.ForwardFuturesFraction = 0.15
 		v := buildValidationNet(seed+13, 100, het, 25)
 		targets := v.neighbors
 		note := "pre-processing off"
@@ -299,11 +290,22 @@ func Ablations(seed int64) []AblationRow {
 			}
 		}
 		sc := core.ScoreAgainst(measured, mt, nil)
-		rows = append(rows, AblationRow{Name: "targets: " + note,
+		return AblationRow{Name: "targets: " + note,
 			Precision: sc.Precision(), Recall: sc.Recall(),
-			Note: fmt.Sprintf("%d targets", len(targets))})
+			Note: fmt.Sprintf("%d targets", len(targets))}
 	}
-	return rows
+
+	pushAll := netgen.Uniform()
+	pushAll.LegacyPushFraction = 1.0
+	jobs := []func() AblationRow{
+		func() AblationRow { return propagation("push+announce (default)", netgen.Uniform()) },
+		func() AblationRow { return propagation("legacy push-all", pushAll) },
+		func() AblationRow { return floodWait(0.2) },
+		func() AblationRow { return floodWait(10) },
+		func() AblationRow { return preprocessing(false) },
+		func() AblationRow { return preprocessing(true) },
+	}
+	return runner.Map(len(jobs), func(i int) AblationRow { return jobs[i]() })
 }
 
 // FormatAblations renders the ablation rows.

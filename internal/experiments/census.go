@@ -9,12 +9,12 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 
 	"toposhot/internal/core"
 	"toposhot/internal/ethsim"
 	"toposhot/internal/graph"
 	"toposhot/internal/netgen"
+	"toposhot/internal/runner"
 	"toposhot/internal/txpool"
 	"toposhot/internal/types"
 )
@@ -170,26 +170,40 @@ func RunCensus(cfg CensusConfig) (*Census, error) {
 }
 
 // censusCache shares one census run across the experiments that analyze the
-// same testnet (Fig 6 + Tables 4/5 all use Ropsten's, etc.).
-var (
-	censusMu    sync.Mutex
-	censusCache = make(map[string]*Census)
-)
+// same testnet (Fig 6 + Tables 4/5 all use Ropsten's, etc.). The
+// singleflight semantics let several experiments request the same census
+// concurrently while it runs exactly once.
+var censusCache runner.Cache[string, *Census]
 
-// CachedCensus runs (or reuses) the named testnet's census.
+// censusKey identifies a census run for cache sharing. The network size is
+// part of the key because benchmarks rescale Grow.N on the same named
+// config; two scalings must not alias.
+func censusKey(cfg CensusConfig) string {
+	return fmt.Sprintf("%s/%d/n%d", cfg.Name, cfg.Seed, cfg.Grow.N)
+}
+
+// CachedCensus runs (or reuses) the named testnet's census. Concurrent
+// callers with the same configuration share one underlying run.
 func CachedCensus(cfg CensusConfig) (*Census, error) {
-	key := fmt.Sprintf("%s/%d", cfg.Name, cfg.Seed)
-	censusMu.Lock()
-	defer censusMu.Unlock()
-	if c, ok := censusCache[key]; ok {
-		return c, nil
+	return censusCache.Do(censusKey(cfg), func() (*Census, error) {
+		return RunCensus(cfg)
+	})
+}
+
+// PrewarmCensuses starts building the given censuses concurrently in the
+// background. Each census is a single-engine serial simulation, so a batch
+// of experiments over several testnets reaches steady state in the
+// wall-clock time of the slowest census rather than their sum. Later
+// CachedCensus calls join the in-flight builds. No-op (and free) when the
+// runner is serial; errors surface on the eventual CachedCensus call.
+func PrewarmCensuses(cfgs ...CensusConfig) {
+	if runner.Parallelism() <= 1 {
+		return
 	}
-	c, err := RunCensus(cfg)
-	if err != nil {
-		return nil, err
+	for _, cfg := range cfgs {
+		cfg := cfg
+		go func() { _, _ = CachedCensus(cfg) }()
 	}
-	censusCache[key] = c
-	return c, nil
 }
 
 // FormatDegreeDistribution renders a Figure-6-style degree histogram with

@@ -7,6 +7,7 @@ import (
 	"toposhot/internal/core"
 	"toposhot/internal/ethsim"
 	"toposhot/internal/netgen"
+	"toposhot/internal/runner"
 	"toposhot/internal/txpool"
 	"toposhot/internal/types"
 )
@@ -120,6 +121,11 @@ type Fig4aRow struct {
 // future transactions Z. Recall rises with Z as nodes with enlarged
 // mempools come into range, and plateaus below 100% because of
 // non-forwarding nodes (the paper's 84%→97% shape, at 1/10 scale).
+//
+// Each Z runs against its own same-seed replica of the validation net, so
+// the rows are independent simulations: every point of the curve starts
+// from the identical topology and mempool state instead of inheriting the
+// residue of lower-Z sweeps, and the sweep fans out across the runner pool.
 func Fig4a(seed int64) []Fig4aRow {
 	het := netgen.Heterogeneity{
 		CustomPoolFraction:  0.14,
@@ -127,12 +133,12 @@ func Fig4a(seed int64) []Fig4aRow {
 		CustomPoolFactorMax: 1.85,
 		NoForwardFraction:   0.03,
 	}
-	v := buildValidationNet(seed, 150, het, 60)
-	targets := v.measurableNeighbors()
-	var rows []Fig4aRow
-	for _, z := range []int{512, 576, 640, 704, 768, 832, 896, 960} {
+	zs := []int{512, 576, 640, 704, 768, 832, 896, 960}
+	return runner.Map(len(zs), func(i int) Fig4aRow {
+		v := buildValidationNet(seed, 150, het, 60)
+		targets := v.measurableNeighbors()
 		p := v.m.Params()
-		p.Z = z
+		p.Z = zs[i]
 		v.m.SetParams(p)
 		detected := 0
 		for _, a := range targets {
@@ -147,9 +153,8 @@ func Fig4a(seed int64) []Fig4aRow {
 				detected++
 			}
 		}
-		rows = append(rows, Fig4aRow{Z: z, Recall: float64(detected) / float64(len(targets)), Tested: len(targets)})
-	}
-	return rows
+		return Fig4aRow{Z: zs[i], Recall: float64(detected) / float64(len(targets)), Tested: len(targets)}
+	})
 }
 
 // FormatFig4a renders the curve.
@@ -174,19 +179,24 @@ type Fig4bRow struct {
 // large groups interleave per-node setups inside a fixed pacing budget, so
 // straggler deliveries interfere and recall decays while precision stays at
 // 100% (the paper: 100% through ~29, ~60% at 99).
+//
+// As in Fig4a, every group size gets a private same-seed replica of the
+// validation net: each point starts from identical topology and pool state,
+// and the sweep runs concurrently on the runner pool.
 func Fig4b(seed int64) []Fig4bRow {
-	v := buildValidationNet4b(seed, 170, 40)
-	targets := v.measurableNeighbors()
-	truth := core.EdgeSetOf(v.net.Edges())
-
 	// Fixed pacing budget: the measurement node paces one whole iteration
 	// inside a near-constant window, so per-node slack shrinks as the
 	// group grows; once it drops under the straggler spread, setups of
 	// consecutive nodes interleave.
 	const pacingWindow = 38.0
 
-	var rows []Fig4bRow
-	for _, p := range []int{1, 5, 10, 20, 29, 40, 60, 80, 99} {
+	ps := []int{1, 5, 10, 20, 29, 40, 60, 80, 99}
+	return runner.Map(len(ps), func(i int) Fig4bRow {
+		p := ps[i]
+		v := buildValidationNet4b(seed, 170, 40)
+		targets := v.measurableNeighbors()
+		truth := core.EdgeSetOf(v.net.Edges())
+
 		sources := make([]types.NodeID, 0, p)
 		// True neighbors first (recall targets), then fillers.
 		for _, id := range targets {
@@ -238,9 +248,8 @@ func Fig4b(seed int64) []Fig4bRow {
 			}
 		}
 		sc := core.ScoreAgainst(best, measuredTruth, nil)
-		rows = append(rows, Fig4bRow{GroupSize: len(sources), Precision: sc.Precision(), Recall: sc.Recall()})
-	}
-	return rows
+		return Fig4bRow{GroupSize: len(sources), Precision: sc.Precision(), Recall: sc.Recall()}
+	})
 }
 
 // FormatFig4b renders the sweep.
@@ -268,36 +277,46 @@ type Fig5Row struct {
 // magnitude at K=30.
 func Fig5(seed int64) []Fig5Row {
 	const groupN = 100
-	var rows []Fig5Row
-	var serialHours float64
-	for _, k := range []int{1, 5, 10, 20, 30, 45, 60} {
+	ks := []int{1, 5, 10, 20, 30, 45, 60}
+	// Each K already runs on its own net with a K-derived seed, so the
+	// sweep fans out directly; the speedup column needs the K=1 baseline
+	// from every row and is filled in serially afterwards.
+	type measured struct {
+		hours    float64
+		detected int
+		ok       bool
+	}
+	res := runner.Map(len(ks), func(i int) measured {
+		k := ks[i]
 		v := buildValidationNet(seed+int64(k), groupN+40, netgen.Uniform(), 10)
 		nodes := v.inst.IDs[:groupN]
-		var hours float64
-		var detected int
 		if k == 1 {
-			res, err := v.m.MeasureAllPairsSerial(nodes)
+			r, err := v.m.MeasureAllPairsSerial(nodes)
 			if err != nil {
-				continue
+				return measured{}
 			}
-			hours = res.Duration / 3600
-			detected = res.Detected.Len()
-		} else {
-			res, err := v.m.MeasureNetwork(nodes, k, 200)
-			if err != nil {
-				continue
-			}
-			hours = res.Duration / 3600
-			detected = res.Detected.Len()
+			return measured{hours: r.Duration / 3600, detected: r.Detected.Len(), ok: true}
+		}
+		r, err := v.m.MeasureNetwork(nodes, k, 200)
+		if err != nil {
+			return measured{}
+		}
+		return measured{hours: r.Duration / 3600, detected: r.Detected.Len(), ok: true}
+	})
+	var serialHours float64
+	var rows []Fig5Row
+	for i, k := range ks {
+		if !res[i].ok {
+			continue
 		}
 		if k == 1 {
-			serialHours = hours
+			serialHours = res[i].hours
 		}
 		speedup := 1.0
-		if hours > 0 && serialHours > 0 {
-			speedup = serialHours / hours
+		if res[i].hours > 0 && serialHours > 0 {
+			speedup = serialHours / res[i].hours
 		}
-		rows = append(rows, Fig5Row{GroupSize: k, VirtualHours: hours, Speedup: speedup, EdgesDetected: detected})
+		rows = append(rows, Fig5Row{GroupSize: k, VirtualHours: res[i].hours, Speedup: speedup, EdgesDetected: res[i].detected})
 	}
 	return rows
 }
@@ -326,20 +345,22 @@ type Fig7Row struct {
 // 100% exactly when mempoolSize − pending ≤ Z (the futures can still evict
 // txC) and 0% otherwise. Full-scale pools — only three nodes.
 func Fig7(seed int64) []Fig7Row {
-	var rows []Fig7Row
-	for _, L := range []int{3120, 5120, 7120, 9120} {
-		for _, pending := range []int{1, 1000, 2000, 3000} {
-			detected := 0
-			const reps = 3
-			for rep := 0; rep < reps; rep++ {
-				if fig7Once(seed+int64(1000*L+pending+rep), L, pending) {
-					detected++
-				}
+	Ls := []int{3120, 5120, 7120, 9120}
+	pendings := []int{1, 1000, 2000, 3000}
+	// Every cell derives its trial seeds from (L, pending, rep) alone, so
+	// the 16 cells are independent jobs for the pool.
+	return runner.Map(len(Ls)*len(pendings), func(idx int) Fig7Row {
+		L := Ls[idx/len(pendings)]
+		pending := pendings[idx%len(pendings)]
+		detected := 0
+		const reps = 3
+		for rep := 0; rep < reps; rep++ {
+			if fig7Once(seed+int64(1000*L+pending+rep), L, pending) {
+				detected++
 			}
-			rows = append(rows, Fig7Row{MempoolSize: L, Pending: pending, Recall: float64(detected) / reps})
 		}
-	}
-	return rows
+		return Fig7Row{MempoolSize: L, Pending: pending, Recall: float64(detected) / reps}
+	})
 }
 
 // fig7Once runs one local trial: were A(B) measurable at this pool size?
@@ -407,8 +428,10 @@ func Table8(seed int64, reps int) []Table8Row {
 		{"A1-B", [][2]int{{0, 2}}},
 		{"null", nil},
 	}
-	var rows []Table8Row
-	for ci, c := range cfgs {
+	// Each configuration seeds its trials from (ci, rep), so the six
+	// configurations run as independent pool jobs.
+	return runner.Map(len(cfgs), func(ci int) Table8Row {
+		c := cfgs[ci]
 		var tp, fp, fn int
 		for rep := 0; rep < reps; rep++ {
 			netCfg := ethsim.DefaultConfig(seed + int64(100*ci+rep))
@@ -460,9 +483,8 @@ func Table8(seed int64, reps int) []Table8Row {
 		if tp+fp > 0 {
 			row.Precision = float64(tp) / float64(tp+fp)
 		}
-		rows = append(rows, row)
-	}
-	return rows
+		return row
+	})
 }
 
 // FormatTable8 renders the local parallel validation.

@@ -297,8 +297,11 @@ func (g *Graph) ClusteringCoefficient() float64 {
 		return 0
 	}
 	tri := g.triangleCounts()
+	// Sum in sorted vertex order: the per-vertex coefficients are not
+	// exactly representable, so accumulating in map order would make the
+	// low-order bits of the average vary run to run.
 	var sum float64
-	for v := range g.adj {
+	for _, v := range g.Nodes() {
 		d := len(g.adj[v])
 		if d < 2 {
 			continue
@@ -327,14 +330,16 @@ func (g *Graph) Transitivity() float64 {
 // DegreeAssortativity returns the Pearson correlation of degrees across
 // edge endpoints (each edge contributes both orientations).
 func (g *Graph) DegreeAssortativity() float64 {
+	// Build the endpoint-degree series in sorted (u, v) order: Pearson's
+	// accumulations are order-sensitive in the low bits, so map iteration
+	// order here would leak into the reported coefficient.
 	var xs, ys []float64
-	for u, nbrs := range g.adj {
-		du := float64(len(nbrs))
-		for v := range nbrs {
+	for _, u := range g.Nodes() {
+		du := float64(len(g.adj[u]))
+		for _, v := range g.Neighbors(u) {
 			xs = append(xs, du)
 			ys = append(ys, float64(len(g.adj[v])))
 		}
-		_ = u
 	}
 	return stats.Pearson(xs, ys)
 }

@@ -63,8 +63,17 @@ func Modularity(g *Graph, p *Partition) float64 {
 			}
 		}
 	}
+	// Sum per-community terms in sorted label order: the terms involve
+	// inexact divisions, so map iteration order would perturb the low bits
+	// of the reported modularity run to run.
+	labels := make([]int, 0, len(degSum))
+	for c := range degSum {
+		labels = append(labels, c)
+	}
+	sort.Ints(labels)
 	var q float64
-	for c, d := range degSum {
+	for _, c := range labels {
+		d := degSum[c]
 		q += intra[c]/m - (d/(2*m))*(d/(2*m))
 	}
 	return q
@@ -176,13 +185,22 @@ func louvainLocal(w map[int]map[int]float64, rng *rand.Rand) (bool, map[int]int)
 			commTot[cur] -= deg[v]
 			// Gain of placing v into community c (v removed from cur):
 			// links[c] − Σtot(c)·k_v/2m. Staying is the c == cur case.
+			// Candidates are visited in sorted label order: ranging over the
+			// links map directly would let map iteration order pick the
+			// winner among near-tied communities and break same-seed
+			// reproducibility of the partition.
+			cands := make([]int, 0, len(links))
+			for c := range links {
+				cands = append(cands, c)
+			}
+			sort.Ints(cands)
 			best := cur
 			bestGain := links[cur] - commTot[cur]*deg[v]/m2
-			for c, l := range links {
+			for _, c := range cands {
 				if c == cur {
 					continue
 				}
-				gain := l - commTot[c]*deg[v]/m2
+				gain := links[c] - commTot[c]*deg[v]/m2
 				if gain > bestGain+1e-12 {
 					best, bestGain = c, gain
 				}

@@ -7,14 +7,16 @@ import (
 )
 
 // nodeterminismScope lists the packages whose results must be reproducible
-// from a seed: the simulators, the measurement core, topology generation, and
-// the pool model the simulator drives.
+// from a seed: the simulators, the measurement core, topology generation,
+// the pool model the simulator drives, and the worker pool that runs
+// independent simulations concurrently.
 var nodeterminismScope = []string{
 	modulePrefix + "/internal/sim",
 	modulePrefix + "/internal/ethsim",
 	modulePrefix + "/internal/core",
 	modulePrefix + "/internal/netgen",
 	modulePrefix + "/internal/txpool",
+	modulePrefix + "/internal/runner",
 }
 
 // timeBanned are time-package functions that read the wall clock or real

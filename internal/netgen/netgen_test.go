@@ -2,10 +2,12 @@ package netgen
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"toposhot/internal/ethsim"
 	"toposhot/internal/graph"
+	"toposhot/internal/runner"
 )
 
 func TestErdosRenyiNM(t *testing.T) {
@@ -117,6 +119,21 @@ func TestBaselinesAveraging(t *testing.T) {
 	}
 	if b.CM.Nodes != 60 {
 		t.Fatalf("CM baseline size wrong: %d", b.CM.Nodes)
+	}
+}
+
+// TestBaselinesParallelismInvariance pins that fanning the baseline graphs
+// across the runner pool leaves the averaged properties bit-identical to a
+// serial run — including the order-sensitive float accumulations.
+func TestBaselinesParallelismInvariance(t *testing.T) {
+	g := ErdosRenyiNM(60, 240, 11)
+	runner.SetParallelism(1)
+	serial := Baselines(g, 4, 11, 10000)
+	runner.SetParallelism(4)
+	defer runner.SetParallelism(0)
+	parallel := Baselines(g, 4, 11, 10000)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("baselines diverge across parallelism:\nserial:   %+v\nparallel: %+v", serial, parallel)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"sort"
 
 	"toposhot/internal/graph"
+	"toposhot/internal/runner"
 )
 
 // ErdosRenyiNM samples a uniform simple graph with n vertices and exactly m
@@ -138,12 +139,28 @@ func Baselines(g *graph.Graph, runs int, seed int64, cliqueBudget int) RandomBas
 	if k < 1 {
 		k = 1
 	}
+	// Each (run, model) instance samples from its own seed and the
+	// generators share only read-only inputs, so all runs×3 graphs build
+	// concurrently. Collection is by index and the averaging below walks
+	// runs in ascending order, keeping float accumulation order — and hence
+	// the averaged properties — identical to the serial loop.
+	props := runner.Map(runs*3, func(idx int) graph.Properties {
+		r, model := idx/3, idx%3
+		s := seed + int64(r)*7919
+		switch model {
+		case 0:
+			return graph.ComputeProperties(ErdosRenyiNM(n, m, s), cliqueBudget)
+		case 1:
+			return graph.ComputeProperties(Configuration(degs, s), cliqueBudget)
+		default:
+			return graph.ComputeProperties(BarabasiAlbert(n, k, s), cliqueBudget)
+		}
+	})
 	var acc [3][]graph.Properties
 	for r := 0; r < runs; r++ {
-		s := seed + int64(r)*7919
-		acc[0] = append(acc[0], graph.ComputeProperties(ErdosRenyiNM(n, m, s), cliqueBudget))
-		acc[1] = append(acc[1], graph.ComputeProperties(Configuration(degs, s), cliqueBudget))
-		acc[2] = append(acc[2], graph.ComputeProperties(BarabasiAlbert(n, k, s), cliqueBudget))
+		for model := 0; model < 3; model++ {
+			acc[model] = append(acc[model], props[r*3+model])
+		}
 	}
 	return RandomBaselines{
 		ER: averageProps(acc[0]),

@@ -84,9 +84,13 @@ type Result struct {
 type entry struct {
 	tx      *types.Transaction
 	added   float64 // pool time at admission, for expiry
+	seq     uint64  // admission sequence, tie-break for equal-price eviction
 	pending bool
 	// heap bookkeeping for the price index; -1 when not in the heap.
 	heapIdx int
+	// futIdx is this entry's slot in the future-only price heap; -1 while
+	// the entry is pending (or removed).
+	futIdx int
 }
 
 // Pool is a single node's mempool. It is not safe for concurrent use; the
@@ -96,11 +100,24 @@ type Pool struct {
 
 	all      map[types.Hash]*entry
 	bySender map[types.Address]map[uint64]*entry // sender → nonce → entry
+	// senderPending/senderFuture tally each sender's pending and future
+	// entries, so the per-account cap check and repartition's demotion
+	// test are O(1) instead of rescanning the sender's entries — the scans
+	// made admitting Z futures from one measurement account O(Z²).
+	senderPending map[types.Address]int
+	senderFuture  map[types.Address]int
 	// stateNonce is the account nonce from chain state: the next expected
 	// nonce per sender. Senders absent from the map have nonce 0.
 	stateNonce map[types.Address]uint64
 
 	price priceHeap // min-heap over gas price for eviction victims
+	// futures is a second index over future entries only, so the full-pool
+	// pending-admission path finds its eviction victim in O(log n) instead
+	// of scanning the whole pool.
+	futures futureHeap
+	// admitSeq numbers admissions; equal-price eviction ties break toward
+	// the oldest admission, a defined order the old linear scan lacked.
+	admitSeq uint64
 
 	// ageQueue holds entries in admission order for O(1) amortized expiry;
 	// removed entries are skipped lazily (heapIdx == -1).
@@ -123,10 +140,12 @@ type Pool struct {
 // New returns an empty pool with the given policy.
 func New(policy Policy) *Pool {
 	return &Pool{
-		policy:     policy,
-		all:        make(map[types.Hash]*entry),
-		bySender:   make(map[types.Address]map[uint64]*entry),
-		stateNonce: make(map[types.Address]uint64),
+		policy:        policy,
+		all:           make(map[types.Hash]*entry),
+		bySender:      make(map[types.Address]map[uint64]*entry),
+		senderPending: make(map[types.Address]int),
+		senderFuture:  make(map[types.Address]int),
+		stateNonce:    make(map[types.Address]uint64),
 	}
 }
 
@@ -221,13 +240,31 @@ func (p *Pool) SetStateNonce(sender types.Address, nonce uint64) []*types.Transa
 
 // senderFutureCount counts sender's buffered future transactions.
 func (p *Pool) senderFutureCount(sender types.Address) int {
-	n := 0
-	for _, e := range p.bySender[sender] {
-		if !e.pending {
-			n++
+	return p.senderFuture[sender]
+}
+
+// markPending flips an entry's pending flag, keeping the global and
+// per-sender tallies in sync.
+func (p *Pool) markPending(e *entry, pending bool) {
+	if e.pending == pending {
+		return
+	}
+	e.pending = pending
+	if pending {
+		p.pendingCount++
+		p.futureCount--
+		p.senderPending[e.tx.From]++
+		if p.senderFuture[e.tx.From]--; p.senderFuture[e.tx.From] == 0 {
+			delete(p.senderFuture, e.tx.From)
+		}
+	} else {
+		p.pendingCount--
+		p.futureCount++
+		p.senderFuture[e.tx.From]++
+		if p.senderPending[e.tx.From]--; p.senderPending[e.tx.From] == 0 {
+			delete(p.senderPending, e.tx.From)
 		}
 	}
-	return n
 }
 
 // isExecutable reports whether a transaction with the given sender and nonce
@@ -348,7 +385,8 @@ func (p *Pool) offer(tx *types.Transaction) Result {
 
 // insert adds an entry with the given pending flag.
 func (p *Pool) insert(tx *types.Transaction, pending bool) *entry {
-	e := &entry{tx: tx, added: p.now, pending: pending, heapIdx: -1}
+	p.admitSeq++
+	e := &entry{tx: tx, added: p.now, seq: p.admitSeq, pending: pending, heapIdx: -1, futIdx: -1}
 	p.all[tx.Hash()] = e
 	m := p.bySender[tx.From]
 	if m == nil {
@@ -360,8 +398,11 @@ func (p *Pool) insert(tx *types.Transaction, pending bool) *entry {
 	p.ageQueue = append(p.ageQueue, e)
 	if pending {
 		p.pendingCount++
+		p.senderPending[tx.From]++
 	} else {
 		p.futureCount++
+		p.senderFuture[tx.From]++
+		heap.Push(&p.futures, e)
 	}
 	return e
 }
@@ -377,10 +418,19 @@ func (p *Pool) remove(e *entry) {
 	if e.heapIdx >= 0 {
 		heap.Remove(&p.price, e.heapIdx)
 	}
+	if e.futIdx >= 0 {
+		heap.Remove(&p.futures, e.futIdx)
+	}
 	if e.pending {
 		p.pendingCount--
+		if p.senderPending[e.tx.From]--; p.senderPending[e.tx.From] == 0 {
+			delete(p.senderPending, e.tx.From)
+		}
 	} else {
 		p.futureCount--
+		if p.senderFuture[e.tx.From]--; p.senderFuture[e.tx.From] == 0 {
+			delete(p.senderFuture, e.tx.From)
+		}
 	}
 }
 
@@ -392,20 +442,15 @@ func (p *Pool) cheapest() *entry {
 	return p.price[0]
 }
 
-// cheapestFuture returns the lowest-priced future entry, or nil when no
-// futures are buffered. Linear scan: only the rare full-pool pending
-// admission path needs it.
+// cheapestFuture returns the lowest-priced future entry (oldest admission on
+// price ties), or nil when no futures are buffered. The dedicated future heap
+// makes the full-pool pending-admission path O(log n); it used to scan the
+// whole pool.
 func (p *Pool) cheapestFuture() *entry {
-	var best *entry
-	for _, e := range p.price {
-		if e.pending {
-			continue
-		}
-		if best == nil || e.tx.GasPrice < best.tx.GasPrice {
-			best = e
-		}
+	if len(p.futures) == 0 {
+		return nil
 	}
-	return best
+	return p.futures[0]
 }
 
 // repartition re-derives the pending/future flags for one sender's
@@ -417,27 +462,33 @@ func (p *Pool) repartition(sender types.Address) []*types.Transaction {
 		return nil
 	}
 	var promoted []*types.Transaction
-	n := p.stateNonce[sender]
+	next := p.stateNonce[sender]
+	n := next
 	for {
 		e, ok := m[n]
 		if !ok {
 			break
 		}
 		if !e.pending {
-			e.pending = true
-			p.futureCount--
-			p.pendingCount++
+			p.markPending(e, true)
+			if e.futIdx >= 0 {
+				heap.Remove(&p.futures, e.futIdx)
+			}
 			promoted = append(promoted, e.tx)
 		}
 		n++
 	}
 	// Demote anything beyond the gap that is marked pending (can happen
-	// after a mid-sequence removal).
-	for nonce, e := range m {
-		if nonce >= n && e.pending {
-			e.pending = false
-			p.pendingCount--
-			p.futureCount++
+	// after a mid-sequence removal). The walk above left every nonce in
+	// [next, n) pending, so when the sender's pending tally equals that
+	// run's length no stale pending entry can exist and the scan is
+	// skipped — without the check every future admission pays O(entries).
+	if p.senderPending[sender] != int(n-next) {
+		for nonce, e := range m {
+			if nonce >= n && e.pending {
+				p.markPending(e, false)
+				heap.Push(&p.futures, e)
+			}
 		}
 	}
 	return promoted
@@ -561,6 +612,36 @@ func (h *priceHeap) Pop() interface{} {
 	n := len(old)
 	e := old[n-1]
 	e.heapIdx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// futureHeap is a min-heap over future entries only, keyed by gas price with
+// admission order breaking ties, so the eviction sequence is fully defined.
+type futureHeap []*entry
+
+func (h futureHeap) Len() int { return len(h) }
+func (h futureHeap) Less(i, j int) bool {
+	if h[i].tx.GasPrice != h[j].tx.GasPrice {
+		return h[i].tx.GasPrice < h[j].tx.GasPrice
+	}
+	return h[i].seq < h[j].seq
+}
+func (h futureHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].futIdx = i
+	h[j].futIdx = j
+}
+func (h *futureHeap) Push(x interface{}) {
+	e := x.(*entry)
+	e.futIdx = len(*h)
+	*h = append(*h, e)
+}
+func (h *futureHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	e.futIdx = -1
 	*h = old[:n-1]
 	return e
 }

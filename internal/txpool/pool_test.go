@@ -2,6 +2,7 @@ package txpool
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -178,6 +179,60 @@ func TestAccountFutureCapU(t *testing.T) {
 	}
 }
 
+// TestEvictionSequencePinned pins the full-pool eviction order when pending
+// admissions displace futures: strictly ascending gas price, with equal-price
+// ties broken toward the oldest admission. The sequence must not drift when
+// the future index implementation changes.
+func TestEvictionSequencePinned(t *testing.T) {
+	p := New(small(6))
+	type drop struct {
+		from  types.Address
+		price uint64
+	}
+	var dropped []drop
+	p.DropObserver = func(dtx *types.Transaction, reason string) {
+		if reason == "evicted" {
+			dropped = append(dropped, drop{dtx.From, dtx.GasPrice})
+		}
+	}
+	// One pending plus five gapped futures fill the pool. Prices include a
+	// three-way tie at 100 admitted in sender order 10, 12, 14.
+	p.Offer(tx(1, 0, 500))
+	p.Offer(tx(10, 1, 100))
+	p.Offer(tx(11, 1, 300))
+	p.Offer(tx(12, 1, 100))
+	p.Offer(tx(13, 1, 200))
+	p.Offer(tx(14, 1, 100))
+	if p.Len() != 6 || p.FutureCount() != 5 {
+		t.Fatalf("setup: len=%d futures=%d", p.Len(), p.FutureCount())
+	}
+	// Five executable admissions evict the five futures one by one.
+	for i := 0; i < 5; i++ {
+		res := p.Offer(tx(uint64(20+i), 0, 1000))
+		if res.Status != StatusPending || len(res.Evicted) != 1 {
+			t.Fatalf("admission %d: status=%v evicted=%d", i, res.Status, len(res.Evicted))
+		}
+	}
+	want := []drop{
+		{acct(10), 100}, {acct(12), 100}, {acct(14), 100},
+		{acct(13), 200}, {acct(11), 300},
+	}
+	if len(dropped) != len(want) {
+		t.Fatalf("evictions = %d, want %d", len(dropped), len(want))
+	}
+	for i := range want {
+		if dropped[i] != want[i] {
+			t.Fatalf("eviction %d = %+v, want %+v (order drifted)", i, dropped[i], want[i])
+		}
+	}
+	// With no futures left, the next pending admission must fall back to the
+	// price-checked pending victim path.
+	res := p.Offer(tx(30, 0, 2000))
+	if res.Status != StatusPending || len(res.Evicted) != 1 || res.Evicted[0].GasPrice != 500 {
+		t.Fatalf("pending fallback: %v evicted=%v", res.Status, res.Evicted)
+	}
+}
+
 func TestRemoveConfirmedAdvancesNonces(t *testing.T) {
 	p := New(small(100))
 	t0 := tx(1, 0, 100)
@@ -273,6 +328,48 @@ func invariantCheck(t *testing.T, p *Pool) {
 	}
 	if p.Len() > p.Policy().Capacity {
 		t.Fatalf("capacity exceeded: %d > %d", p.Len(), p.Policy().Capacity)
+	}
+	// The future heap must index exactly the future entries, and its top
+	// must agree with a reference scan under the (price, admission) order.
+	if len(p.futures) != p.FutureCount() {
+		t.Fatalf("future heap holds %d entries, future count is %d",
+			len(p.futures), p.FutureCount())
+	}
+	var ref *entry
+	for _, e := range p.all {
+		if e.pending {
+			if e.futIdx >= 0 {
+				t.Fatalf("pending %v indexed in future heap", e.tx.Hash())
+			}
+			continue
+		}
+		if e.futIdx < 0 || p.futures[e.futIdx] != e {
+			t.Fatalf("future %v mis-indexed (futIdx=%d)", e.tx.Hash(), e.futIdx)
+		}
+		if ref == nil || e.tx.GasPrice < ref.tx.GasPrice ||
+			(e.tx.GasPrice == ref.tx.GasPrice && e.seq < ref.seq) {
+			ref = e
+		}
+	}
+	if got := p.cheapestFuture(); got != ref {
+		t.Fatalf("cheapestFuture disagrees with reference scan: got %v want %v", got, ref)
+	}
+	// The per-sender tallies must agree with a reference recount, with no
+	// stale zero-valued keys left behind.
+	refPending := map[types.Address]int{}
+	refFuture := map[types.Address]int{}
+	for _, e := range p.all {
+		if e.pending {
+			refPending[e.tx.From]++
+		} else {
+			refFuture[e.tx.From]++
+		}
+	}
+	if !reflect.DeepEqual(p.senderPending, refPending) {
+		t.Fatalf("senderPending tally drifted: have %v want %v", p.senderPending, refPending)
+	}
+	if !reflect.DeepEqual(p.senderFuture, refFuture) {
+		t.Fatalf("senderFuture tally drifted: have %v want %v", p.senderFuture, refFuture)
 	}
 }
 
