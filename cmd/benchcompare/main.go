@@ -1,0 +1,262 @@
+// Command benchcompare diffs two `go test -json` benchmark event streams
+// (the BENCH_<rev>.json files `make bench-smoke` emits) and prints the
+// per-benchmark change of every reported metric — wall clock (ns/op),
+// allocations (B/op, allocs/op), and the custom units benchmarks report.
+//
+// Usage:
+//
+//	benchcompare BENCH_old.json BENCH_new.json
+//	benchcompare                 # the two newest BENCH_*.json, older = base
+//
+// Negative deltas mean the new revision is smaller/faster. Benchmarks present
+// in only one stream are listed as new/gone. The exit status is always 0 on
+// parseable input: the tool informs, the reviewer judges.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// testEvent is the go test -json event shape (cmd/test2json).
+type testEvent struct {
+	Action  string
+	Package string
+	Output  string
+}
+
+// benchResult is one benchmark's parsed metrics: unit → value.
+type benchResult struct {
+	iters   int64
+	metrics map[string]float64
+}
+
+// parseFile reassembles each package's output stream and extracts benchmark
+// result lines. test2json splits one result line across events (the name and
+// the values arrive separately), so matching must run on the joined text, not
+// per event.
+func parseFile(path string) (map[string]benchResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	perPkg := map[string]*strings.Builder{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev testEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			return nil, fmt.Errorf("%s: %v", path, err)
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		b := perPkg[ev.Package]
+		if b == nil {
+			b = &strings.Builder{}
+			perPkg[ev.Package] = b
+		}
+		b.WriteString(ev.Output)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	out := map[string]benchResult{}
+	for pkg, b := range perPkg {
+		for _, line := range strings.Split(b.String(), "\n") {
+			name, res, ok := parseBenchLine(line)
+			if !ok {
+				continue
+			}
+			// Always package-qualify: two streams must align even when one
+			// covers a single package and the other several.
+			out[pkg+"."+name] = res
+		}
+	}
+	return out, nil
+}
+
+// parseBenchLine parses "BenchmarkX[-procs] \t N \t v unit \t v unit ...".
+func parseBenchLine(line string) (string, benchResult, bool) {
+	if !strings.HasPrefix(line, "Benchmark") || !strings.Contains(line, "\t") {
+		return "", benchResult{}, false
+	}
+	fields := strings.Split(line, "\t")
+	if len(fields) < 3 {
+		return "", benchResult{}, false
+	}
+	name := strings.TrimSpace(fields[0])
+	// Strip the -GOMAXPROCS suffix so runs at different widths still align.
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(strings.TrimSpace(fields[1]), 10, 64)
+	if err != nil {
+		return "", benchResult{}, false
+	}
+	res := benchResult{iters: iters, metrics: map[string]float64{}}
+	for _, fld := range fields[2:] {
+		parts := strings.Fields(fld)
+		if len(parts) != 2 {
+			continue
+		}
+		v, err := strconv.ParseFloat(parts[0], 64)
+		if err != nil {
+			continue
+		}
+		res.metrics[parts[1]] = v
+	}
+	if len(res.metrics) == 0 {
+		return "", benchResult{}, false
+	}
+	return name, res, true
+}
+
+// unitRank pins the canonical metrics first so every benchmark's block reads
+// the same way; custom units follow alphabetically.
+func unitRank(u string) int {
+	switch u {
+	case "ns/op":
+		return 0
+	case "B/op":
+		return 1
+	case "allocs/op":
+		return 2
+	}
+	return 3
+}
+
+func sortedUnits(a, b map[string]float64) []string {
+	seen := map[string]bool{}
+	var units []string
+	for _, m := range []map[string]float64{a, b} {
+		for u := range m {
+			if !seen[u] {
+				seen[u] = true
+				units = append(units, u)
+			}
+		}
+	}
+	sort.Slice(units, func(i, j int) bool {
+		if r1, r2 := unitRank(units[i]), unitRank(units[j]); r1 != r2 {
+			return r1 < r2
+		}
+		return units[i] < units[j]
+	})
+	return units
+}
+
+func formatValue(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+// discover returns the two newest BENCH_*.json in the working directory,
+// oldest first.
+func discover() (string, string, error) {
+	matches, err := filepath.Glob("BENCH_*.json")
+	if err != nil || len(matches) < 2 {
+		return "", "", fmt.Errorf("need two BENCH_*.json files in the working directory, found %d", len(matches))
+	}
+	sort.Slice(matches, func(i, j int) bool {
+		si, _ := os.Stat(matches[i])
+		sj, _ := os.Stat(matches[j])
+		return si.ModTime().Before(sj.ModTime())
+	})
+	return matches[len(matches)-2], matches[len(matches)-1], nil
+}
+
+func main() {
+	var oldPath, newPath string
+	var err error
+	switch len(os.Args) {
+	case 1:
+		if oldPath, newPath, err = discover(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	case 3:
+		oldPath, newPath = os.Args[1], os.Args[2]
+	default:
+		fmt.Fprintf(os.Stderr, "usage: %s [BENCH_old.json BENCH_new.json]\n", filepath.Base(os.Args[0]))
+		os.Exit(2)
+	}
+
+	oldRes, err := parseFile(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	newRes, err := parseFile(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	names := map[string]bool{}
+	for n := range oldRes {
+		names[n] = true
+	}
+	for n := range newRes {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
+	fmt.Printf("old: %s\nnew: %s\n\n", oldPath, newPath)
+	fmt.Printf("%-52s %-16s %14s %14s %9s\n", "benchmark", "unit", "old", "new", "delta")
+	for _, name := range sorted {
+		o, inOld := oldRes[name]
+		n, inNew := newRes[name]
+		switch {
+		case !inNew:
+			fmt.Printf("%-52s %-16s %14s %14s %9s\n", name, "", formatValue(o.metrics["ns/op"]), "gone", "")
+			continue
+		case !inOld:
+			fmt.Printf("%-52s %-16s %14s %14s %9s\n", name, "", "new", formatValue(n.metrics["ns/op"]), "")
+			continue
+		}
+		first := true
+		for _, unit := range sortedUnits(o.metrics, n.metrics) {
+			ov, hasOld := o.metrics[unit]
+			nv, hasNew := n.metrics[unit]
+			label := ""
+			if first {
+				label = name
+				first = false
+			}
+			switch {
+			case hasOld && hasNew:
+				delta := "n/a"
+				if ov != 0 {
+					delta = fmt.Sprintf("%+.1f%%", 100*(nv-ov)/ov)
+				}
+				fmt.Printf("%-52s %-16s %14s %14s %9s\n", label, unit, formatValue(ov), formatValue(nv), delta)
+			case hasOld:
+				fmt.Printf("%-52s %-16s %14s %14s %9s\n", label, unit, formatValue(ov), "gone", "")
+			default:
+				fmt.Printf("%-52s %-16s %14s %14s %9s\n", label, unit, "new", formatValue(nv), "")
+			}
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	name, res, ok := parseBenchLine("BenchmarkCensus-8        \t       1\t 282841525 ns/op\t      5120 B/op\t        42 allocs/op\t        6.000 communities")
+	if !ok {
+		t.Fatal("result line rejected")
+	}
+	if name != "BenchmarkCensus" {
+		t.Fatalf("name = %q (procs suffix not stripped)", name)
+	}
+	if res.iters != 1 {
+		t.Fatalf("iters = %d", res.iters)
+	}
+	want := map[string]float64{"ns/op": 282841525, "B/op": 5120, "allocs/op": 42, "communities": 6}
+	for u, v := range want {
+		if res.metrics[u] != v {
+			t.Fatalf("%s = %v, want %v", u, res.metrics[u], v)
+		}
+	}
+
+	for _, bad := range []string{
+		"BenchmarkX",                  // bare name event, no values
+		"=== RUN   BenchmarkX",        // runner chatter
+		"ok  \ttoposhot\t1.2s",        // summary
+		"BenchmarkX\tnot-a-number\tz", // malformed
+	} {
+		if _, _, ok := parseBenchLine(bad); ok {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+}
+
+// TestParseFileReassemblesSplitLines reproduces test2json's splitting: the
+// benchmark name and its values arrive in separate output events and must be
+// joined before parsing.
+func TestParseFileReassemblesSplitLines(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+	events := `{"Action":"output","Package":"toposhot","Output":"goos: linux\n"}
+{"Action":"output","Package":"toposhot","Test":"BenchmarkA","Output":"BenchmarkA\n"}
+{"Action":"output","Package":"toposhot","Test":"BenchmarkA","Output":"BenchmarkA        \t"}
+{"Action":"output","Package":"toposhot","Test":"BenchmarkA","Output":"       2\t 100 ns/op\t       3 allocs/op\n"}
+{"Action":"run","Package":"toposhot","Test":"BenchmarkB"}
+{"Action":"output","Package":"toposhot","Test":"BenchmarkB","Output":"BenchmarkB-4 \t"}
+{"Action":"output","Package":"toposhot","Test":"BenchmarkB","Output":"       1\t 50.5 ns/op\n"}
+`
+	if err := os.WriteFile(path, []byte(events), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := parseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %v", len(res), res)
+	}
+	if res["toposhot.BenchmarkA"].metrics["ns/op"] != 100 || res["toposhot.BenchmarkA"].metrics["allocs/op"] != 3 {
+		t.Fatalf("BenchmarkA = %v", res["toposhot.BenchmarkA"].metrics)
+	}
+	if res["toposhot.BenchmarkB"].metrics["ns/op"] != 50.5 {
+		t.Fatalf("BenchmarkB = %v", res["toposhot.BenchmarkB"].metrics)
+	}
+}
+
+// TestParseFileMultiPackage: with more than one package in the stream, names
+// are qualified to avoid collisions.
+func TestParseFileMultiPackage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_y.json")
+	events := `{"Action":"output","Package":"a","Output":"BenchmarkQ \t 1\t 10 ns/op\n"}
+{"Action":"output","Package":"b","Output":"BenchmarkQ \t 1\t 20 ns/op\n"}
+`
+	if err := os.WriteFile(path, []byte(events), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := parseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res["a.BenchmarkQ"].metrics["ns/op"] != 10 || res["b.BenchmarkQ"].metrics["ns/op"] != 20 {
+		t.Fatalf("multi-package qualification broken: %v", res)
+	}
+}

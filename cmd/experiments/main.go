@@ -20,6 +20,7 @@ import (
 
 	"toposhot/internal/experiments"
 	"toposhot/internal/metrics"
+	"toposhot/internal/profile"
 	runnerpool "toposhot/internal/runner"
 	"toposhot/internal/txpool"
 )
@@ -162,9 +163,22 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker-pool width for independent simulations (0 = GOMAXPROCS, 1 = serial); results are identical at any width")
 	withMetrics := flag.Bool("metrics", false, "print periodic progress lines and a final metrics snapshot to stderr")
 	metricsEvery := flag.Duration("metrics-interval", 10*time.Second, "progress line interval under -metrics")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	runnerpool.SetParallelism(*parallel)
+
+	prof, err := profile.StartRuntime(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
 
 	if *withMetrics {
 		reg := metrics.NewRegistry()

@@ -21,6 +21,7 @@ import (
 	"toposhot/internal/ethsim"
 	"toposhot/internal/metrics"
 	"toposhot/internal/netgen"
+	"toposhot/internal/profile"
 	"toposhot/internal/runner"
 	"toposhot/internal/txpool"
 	"toposhot/internal/types"
@@ -36,7 +37,20 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker-pool width for independent simulations (0 = GOMAXPROCS, 1 = serial); results are identical at any width")
 	withMetrics := flag.Bool("metrics", false, "print periodic progress lines and a final metrics snapshot to stderr")
 	metricsEvery := flag.Duration("metrics-interval", 10*time.Second, "progress line interval under -metrics")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	prof, err := profile.StartRuntime(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
 
 	// One campaign is one serial engine, so this knob matters only for the
 	// pool-backed helpers underneath (and keeps the flag uniform with

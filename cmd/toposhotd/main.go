@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -83,6 +84,13 @@ func main() {
 			enc.SetIndent("", "  ")
 			_ = enc.Encode(n.PeerStats())
 		})
+		// Live profiling of a running daemon: `go tool pprof
+		// http://ADDR/debug/pprof/profile` while a census drives it.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		srv := &http.Server{Addr: *metricsHTTP, Handler: mux}
 		go func() {
 			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
@@ -90,7 +98,7 @@ func main() {
 			}
 		}()
 		defer srv.Close()
-		fmt.Printf("metrics at http://%s/metrics (per-peer stats at /peers)\n", *metricsHTTP)
+		fmt.Printf("metrics at http://%s/metrics (per-peer stats at /peers, profiles at /debug/pprof)\n", *metricsHTTP)
 	}
 
 	for _, p := range strings.Split(*peers, ",") {

@@ -1,0 +1,239 @@
+package ethsim
+
+import (
+	"testing"
+
+	"toposhot/internal/txpool"
+	"toposhot/internal/types"
+)
+
+// TestFlushCoalescesWindow pins the coalescing contract: every admission
+// inside one FlushInterval rides a single flush, producing exactly one
+// Transactions message per pushed peer — not one message per admission.
+func TestFlushCoalescesWindow(t *testing.T) {
+	net := testNet(11)
+	ids := addNodes(net, 2, 64)
+	if err := net.Connect(ids[0], ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	a, b := net.Node(ids[0]), net.Node(ids[1])
+
+	// Two admissions at t=0, both inside the first coalescing window.
+	tx1 := types.NewTransaction(types.AddressFromUint64(1), types.AddressFromUint64(9), 0, types.Gwei, 0)
+	tx2 := types.NewTransaction(types.AddressFromUint64(2), types.AddressFromUint64(9), 0, types.Gwei, 0)
+	a.SubmitLocal(tx1)
+	a.SubmitLocal(tx2)
+	net.RunFor(5)
+
+	// B's only peer is A (the exclude), so B sends nothing back: the single
+	// message on the wire is A's one batched flush.
+	if got := net.MsgCount["txs"]; got != 1 {
+		t.Fatalf("txs messages after one window = %d, want 1 (flush not coalesced)", got)
+	}
+	if !b.Pool().Has(tx1.Hash()) || !b.Pool().Has(tx2.Hash()) {
+		t.Fatal("batched flush did not deliver both transactions")
+	}
+
+	// A later admission opens a fresh window and a second flush.
+	tx3 := types.NewTransaction(types.AddressFromUint64(3), types.AddressFromUint64(9), 0, types.Gwei, 0)
+	a.SubmitLocal(tx3)
+	net.RunFor(5)
+	if got := net.MsgCount["txs"]; got != 2 {
+		t.Fatalf("txs messages after second window = %d, want 2", got)
+	}
+}
+
+// TestPropagateEmptyBatchSchedulesNothing guards the propagate early-return:
+// an empty transaction set must neither arm the flush timer nor enqueue
+// anything (the pre-overhaul code checked the out-queue instead of the input
+// and the guard was dead).
+func TestPropagateEmptyBatchSchedulesNothing(t *testing.T) {
+	net := testNet(12)
+	ids := addNodes(net, 2, 64)
+	if err := net.Connect(ids[0], ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	nd := net.Node(ids[0])
+	pending := net.Engine().Pending()
+	nd.propagate(nd.id, nil)
+	if nd.flushScheduled {
+		t.Fatal("empty propagate armed the flush timer")
+	}
+	if got := net.Engine().Pending(); got != pending {
+		t.Fatalf("empty propagate scheduled an event: pending %d -> %d", pending, got)
+	}
+	if len(nd.outQ) != 0 {
+		t.Fatalf("empty propagate enqueued %d items", len(nd.outQ))
+	}
+}
+
+// TestPeersCachedSortedCopy pins the Peers() contract over the incrementally
+// maintained sorted peer list: ascending order after arbitrary add/remove,
+// and a fresh copy per call that callers may mutate freely.
+func TestPeersCachedSortedCopy(t *testing.T) {
+	net := testNet(13)
+	ids := addNodes(net, 6, 64)
+	nd := net.Node(ids[0])
+	// Connect out of id order, with one disconnect in the middle.
+	for _, i := range []int{4, 1, 5, 2, 3} {
+		if err := net.Connect(ids[0], ids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Disconnect(ids[0], ids[2])
+
+	got := nd.Peers()
+	want := []types.NodeID{ids[1], ids[3], ids[4], ids[5]}
+	if len(got) != len(want) {
+		t.Fatalf("peers = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("peers = %v, want %v (sorted order broken)", got, want)
+		}
+	}
+
+	// Mutating the returned slice must not reach the node's cache.
+	got[0] = 999
+	again := nd.Peers()
+	if again[0] != want[0] {
+		t.Fatal("Peers() returned the backing slice, not a copy")
+	}
+
+	// Duplicate connect is a no-op on the cache.
+	_ = net.Connect(ids[0], ids[1])
+	if len(nd.Peers()) != len(want) {
+		t.Fatal("duplicate connect grew the sorted peer list")
+	}
+}
+
+// TestAnnounceLockSweepRing drives sweepAnnounceLocks through the
+// expiry-ordered ring directly: expired prefixes pop, a re-armed hash's
+// stale ring entry is skipped (the map deadline is authoritative), and the
+// dead prefix compacts away.
+func TestAnnounceLockSweepRing(t *testing.T) {
+	net := testNet(14)
+	nd := net.AddNode(DefaultNodeConfig())
+	arm := func(h types.Hash, until float64) {
+		nd.announceLock[h] = until
+		nd.lockQ = append(nd.lockQ, lockEntry{h: h, until: until})
+	}
+	h1 := types.BytesToHash([]byte{1})
+	h2 := types.BytesToHash([]byte{2})
+	h3 := types.BytesToHash([]byte{3})
+	arm(h1, 5)
+	arm(h2, 6)
+	arm(h3, 7)
+
+	nd.sweepAnnounceLocks(5.5)
+	if _, ok := nd.announceLock[h1]; ok {
+		t.Fatal("expired lock h1 survived the sweep")
+	}
+	if _, ok := nd.announceLock[h2]; !ok {
+		t.Fatal("live lock h2 swept early")
+	}
+
+	// Re-arm h3 with a later deadline, as deliverAnnounce does after expiry:
+	// the old ring entry (until=7) goes stale but the map now says 12.
+	nd.announceLock[h3] = 12
+	nd.lockQ = append(nd.lockQ, lockEntry{h: h3, until: 12})
+
+	nd.sweepAnnounceLocks(8)
+	if until, ok := nd.announceLock[h3]; !ok || until != 12 {
+		t.Fatalf("re-armed lock h3 deleted by its stale ring entry (lock=%v,%v)", until, ok)
+	}
+	if _, ok := nd.announceLock[h2]; ok {
+		t.Fatal("expired lock h2 survived the sweep")
+	}
+
+	nd.sweepAnnounceLocks(12)
+	if len(nd.announceLock) != 0 {
+		t.Fatalf("locks remain after final sweep: %v", nd.announceLock)
+	}
+	if nd.lockQHead != 0 || len(nd.lockQ) != 0 {
+		t.Fatalf("drained ring not compacted: head=%d len=%d", nd.lockQHead, len(nd.lockQ))
+	}
+}
+
+// TestAnnounceLockStillFiltersDuplicates is the behavioral complement of the
+// ring test: within the lock window a second announcement of the same hash
+// triggers no second request.
+func TestAnnounceLockStillFiltersDuplicates(t *testing.T) {
+	net := testNet(15)
+	nd := net.AddNode(DefaultNodeConfig())
+	src := net.AddNode(DefaultNodeConfig())
+	if err := net.Connect(nd.ID(), src.ID()); err != nil {
+		t.Fatal(err)
+	}
+	h := types.BytesToHash([]byte{0xaa})
+	nd.deliverAnnounce(src.ID(), []types.Hash{h})
+	nd.deliverAnnounce(src.ID(), []types.Hash{h})
+	net.RunFor(5)
+	if got := net.MsgCount["request"]; got != 1 {
+		t.Fatalf("requests after duplicate announce = %d, want 1", got)
+	}
+}
+
+// BenchmarkGossipFlood measures one full flood — SubmitLocal at a rotating
+// origin through delivery at every node on a 100-node ring-with-chords —
+// per op. allocs/op divided by the reported msgs/op approximates allocations
+// per delivered message, the tentpole's ≥50% reduction target.
+func BenchmarkGossipFlood(b *testing.B) {
+	net := testNet(7)
+	ids := addNodes(net, 100, 1<<14)
+	for i := range ids {
+		_ = net.Connect(ids[i], ids[(i+1)%len(ids)])
+		_ = net.Connect(ids[i], ids[(i+7)%len(ids)])
+		_ = net.Connect(ids[i], ids[(i+29)%len(ids)])
+	}
+	net.StartJanitor(5)
+	// Warm the arenas: a few floods grow the event arena, message pool, and
+	// per-node scratch buffers to their steady-state footprint.
+	for i := 0; i < 16; i++ {
+		tx := types.NewTransaction(types.AddressFromUint64(uint64(i+1)), types.AddressFromUint64(2), 0, types.Gwei, 0)
+		net.Node(ids[i%len(ids)]).SubmitLocal(tx)
+		net.RunFor(2)
+	}
+	base := net.MsgCount["txs"] + net.MsgCount["announce"] + net.MsgCount["request"]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := types.NewTransaction(types.AddressFromUint64(uint64(1000+i)), types.AddressFromUint64(2), 0, types.Gwei, 0)
+		net.Node(ids[i%len(ids)]).SubmitLocal(tx)
+		net.RunFor(2)
+	}
+	b.StopTimer()
+	delivered := net.MsgCount["txs"] + net.MsgCount["announce"] + net.MsgCount["request"] - base
+	b.ReportMetric(float64(delivered)/float64(b.N), "msgs/op")
+}
+
+// BenchmarkGossipFloodLegacy floods the same topology under LegacyPushAll
+// (push to every peer, no announcements) — the heavier per-flush path.
+func BenchmarkGossipFloodLegacy(b *testing.B) {
+	net := testNet(8)
+	ids := make([]types.NodeID, 100)
+	for i := range ids {
+		ids[i] = net.AddNode(NodeConfig{
+			Policy:        txpool.Geth.WithCapacity(1 << 14),
+			MaxPeers:      50,
+			LegacyPushAll: true,
+		}).ID()
+	}
+	for i := range ids {
+		_ = net.Connect(ids[i], ids[(i+1)%len(ids)])
+		_ = net.Connect(ids[i], ids[(i+7)%len(ids)])
+	}
+	net.StartJanitor(5)
+	for i := 0; i < 16; i++ {
+		tx := types.NewTransaction(types.AddressFromUint64(uint64(i+1)), types.AddressFromUint64(2), 0, types.Gwei, 0)
+		net.Node(ids[i%len(ids)]).SubmitLocal(tx)
+		net.RunFor(2)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := types.NewTransaction(types.AddressFromUint64(uint64(1000+i)), types.AddressFromUint64(2), 0, types.Gwei, 0)
+		net.Node(ids[i%len(ids)]).SubmitLocal(tx)
+		net.RunFor(2)
+	}
+}

@@ -66,6 +66,56 @@ func DefaultConfig(seed int64) Config {
 	}
 }
 
+// msgKind discriminates the typed gossip messages the simulator exchanges.
+// Replacing the old closure-per-message send path, every in-flight message
+// is a pooled netMsg dispatched by a switch on its kind — no captures, no
+// per-message allocation at steady state.
+type msgKind uint8
+
+const (
+	// msgTxs is a devp2p Transactions push (full transactions).
+	msgTxs msgKind = iota
+	// msgAnnounce is a NewPooledTransactionHashes announcement.
+	msgAnnounce
+	// msgRequest is a GetPooledTransactions request.
+	msgRequest
+	// msgInject is a supernode uplink-pacing event: when it fires, the batch
+	// leaves the supernode — the message turns into msgTxs and gets routed
+	// with freshly sampled link latency.
+	msgInject
+)
+
+// String returns the kind's MsgCount key.
+func (k msgKind) String() string {
+	switch k {
+	case msgTxs:
+		return "txs"
+	case msgAnnounce:
+		return "announce"
+	case msgRequest:
+		return "request"
+	case msgInject:
+		return "inject"
+	}
+	return "other"
+}
+
+// netMsg is one pooled in-flight message: kind, payload, and destination.
+// Slots live in Network.msgs and recycle through Network.msgFree; their
+// payload slices keep capacity across reuse, so a steady gossip flood sends
+// without allocating. Buffers may retain transaction pointers until the slot
+// is next reused — bounded by the peak in-flight message count.
+type netMsg struct {
+	kind msgKind
+	from types.NodeID
+	dst  *Node
+	sent float64
+	// txs carries full transactions (msgTxs, msgInject).
+	txs []*types.Transaction
+	// hashes carries announcement/request hash lists (msgAnnounce, msgRequest).
+	hashes []types.Hash
+}
+
 // Network is a simulated Ethereum overlay.
 type Network struct {
 	cfg   Config
@@ -73,8 +123,13 @@ type Network struct {
 	nodes map[types.NodeID]*Node
 	order []types.NodeID // insertion order, for deterministic iteration
 
+	// msgs is the pooled message arena; msgFree recycles released slots.
+	// Messages are addressed by arena index through sim.Handler events.
+	msgs    []netMsg
+	msgFree []int32
+
 	// MsgCount tallies delivered messages by kind ("txs", "announce",
-	// "request", "block").
+	// "request").
 	MsgCount map[string]int
 
 	// lastDelivery enforces per-link FIFO ordering: devp2p runs over TCP,
@@ -108,16 +163,14 @@ type netMetrics struct {
 	announceLockHits                                    *metrics.Counter
 }
 
-func (m *netMetrics) msgCounter(kind string) *metrics.Counter {
+func (m *netMetrics) msgCounter(kind msgKind) *metrics.Counter {
 	switch kind {
-	case "txs":
+	case msgTxs:
 		return m.msgTxs
-	case "announce":
+	case msgAnnounce:
 		return m.msgAnnounce
-	case "request":
+	case msgRequest:
 		return m.msgRequest
-	case "block":
-		return m.msgBlock
 	default:
 		return m.msgOther
 	}
@@ -241,7 +294,7 @@ func (n *Network) Edges() [][2]types.NodeID {
 	var out [][2]types.NodeID
 	for _, id := range n.order {
 		node := n.nodes[id]
-		for pid := range node.peers {
+		for _, pid := range node.peersSorted {
 			if id < pid {
 				out = append(out, [2]types.NodeID{id, pid})
 			}
@@ -256,34 +309,90 @@ func (n *Network) Edges() [][2]types.NodeID {
 	return out
 }
 
-// send schedules delivery of a message over the a→b link with sampled
-// latency. Messages to unresponsive or unknown nodes are dropped silently,
-// like packets to a dead peer.
-func (n *Network) send(from, to types.NodeID, deliver func(dst *Node), kind string) {
+// msgTo allocates a pooled message slot addressed to node `to`, returning
+// its arena index, or -1 when the destination is unknown (the message is
+// dropped silently, like a packet to a dead peer).
+func (n *Network) msgTo(kind msgKind, from, to types.NodeID) int32 {
 	dst := n.nodes[to]
 	if dst == nil {
-		return
+		return -1
 	}
+	var i int32
+	if k := len(n.msgFree); k > 0 {
+		i = n.msgFree[k-1]
+		n.msgFree = n.msgFree[:k-1]
+	} else {
+		n.msgs = append(n.msgs, netMsg{})
+		i = int32(len(n.msgs) - 1)
+	}
+	m := &n.msgs[i]
+	m.kind, m.from, m.dst = kind, from, dst
+	return i
+}
+
+// freeMsg releases a message slot back to the pool, keeping its payload
+// buffers' capacity for the next sender.
+func (n *Network) freeMsg(i int32) {
+	m := &n.msgs[i]
+	m.dst = nil
+	m.txs = m.txs[:0]
+	m.hashes = m.hashes[:0]
+	n.msgFree = append(n.msgFree, i)
+}
+
+// route samples link latency for the filled message slot i, applies the
+// per-link FIFO clamp, and schedules its delivery. The scheduling is
+// allocation-free: the event carries the network as handler and the arena
+// index as argument.
+func (n *Network) route(i int32) {
+	m := &n.msgs[i]
 	lat := n.eng.Jitter(n.cfg.LatencyBase, n.cfg.LatencyTail, n.cfg.LatencyMax)
 	if n.cfg.SpikeProb > 0 && n.eng.Rand().Float64() < n.cfg.SpikeProb {
 		lat += n.eng.Uniform(0, n.cfg.SpikeMax)
 	}
 	sent := n.eng.Now()
 	at := sent + lat
-	link := [2]types.NodeID{from, to}
+	link := [2]types.NodeID{m.from, m.dst.id}
 	if last := n.lastDelivery[link]; at <= last {
 		at = last + 1e-6
 	}
 	n.lastDelivery[link] = at
-	n.eng.At(at, func() {
-		if dst.cfg.Unresponsive {
-			return
+	m.sent = sent
+	n.eng.AtHandler(at, n, uint64(i))
+}
+
+// HandleEvent implements sim.Handler: it fires a pooled message — either
+// converting a supernode uplink event into a routed delivery, or delivering
+// the payload to its destination node. Messages to unresponsive nodes are
+// dropped at delivery time, exactly like the packet loss of a dead peer.
+func (n *Network) HandleEvent(arg uint64) {
+	i := int32(arg)
+	if n.msgs[i].kind == msgInject {
+		// The batch leaves the supernode now; sample its link latency and
+		// schedule the real delivery on the same slot.
+		n.msgs[i].kind = msgTxs
+		n.route(i)
+		return
+	}
+	// Copy the header out: delivery below can send new messages, growing
+	// n.msgs and invalidating pointers into it. Slice headers and the dst
+	// pointer stay valid across that growth; the slot itself is not reused
+	// until freeMsg below.
+	m := n.msgs[i]
+	if !m.dst.cfg.Unresponsive {
+		n.MsgCount[m.kind.String()]++
+		n.metrics.msgCounter(m.kind).Inc()
+		n.metrics.deliveryLatency.Observe(n.eng.Now() - m.sent) // effective one-hop delay
+		switch m.kind {
+		case msgTxs:
+			m.dst.deliverTxs(m.from, m.txs)
+		case msgAnnounce:
+			m.dst.deliverAnnounce(m.from, m.hashes)
+		case msgRequest:
+			m.dst.deliverRequest(m.from, m.hashes)
 		}
-		n.MsgCount[kind]++
-		n.metrics.msgCounter(kind).Inc()
-		n.metrics.deliveryLatency.Observe(at - sent) // effective one-hop delay
-		deliver(dst)
-	})
+	}
+	n.freeMsg(i)
 }
 
 // Run advances the simulation until the event queue drains or the budget is
@@ -294,17 +403,15 @@ func (n *Network) Run(budget int) { n.eng.Run(budget) }
 func (n *Network) RunFor(d float64) { n.eng.RunUntil(n.eng.Now() + d) }
 
 // TickPools advances each pool's expiry clock to the current virtual time
-// and prunes expired announcement locks.
+// and prunes expired announcement locks. The lock sweep is incremental:
+// each node pops the expired prefix of its expiry-ordered lock ring instead
+// of scanning its whole lock map per tick.
 func (n *Network) TickPools() {
 	now := n.eng.Now()
 	for _, id := range n.order {
 		nd := n.nodes[id]
 		nd.pool.SetTime(now)
-		for h, until := range nd.announceLock {
-			if now >= until {
-				delete(nd.announceLock, h)
-			}
-		}
+		nd.sweepAnnounceLocks(now)
 	}
 	for _, h := range n.janitorHooks {
 		h(now)

@@ -48,6 +48,12 @@ type TxReceipt struct {
 	At   float64
 }
 
+// lockEntry is one armed announcement lock in expiry order.
+type lockEntry struct {
+	h     types.Hash
+	until float64
+}
+
 // Node is one simulated Ethereum peer.
 type Node struct {
 	id   types.NodeID
@@ -56,15 +62,34 @@ type Node struct {
 	pool *txpool.Pool
 
 	peers map[types.NodeID]struct{}
+	// peersSorted mirrors peers in ascending id order, maintained
+	// incrementally on addPeer/removePeer so the per-flush gossip fan-out
+	// never re-sorts. It is the backing store for Peers().
+	peersSorted []types.NodeID
 
 	// announceLock maps a tx hash to the time until which further
-	// announcements of that hash are ignored (the 5 s window).
+	// announcements of that hash are ignored (the 5 s window). lockQ holds
+	// the same locks in arming order; the window is a network constant, so
+	// arming order is expiry order and the janitor sweep pops an expired
+	// prefix instead of scanning the map (see sweepAnnounceLocks).
 	announceLock map[types.Hash]float64
+	lockQ        []lockEntry
+	lockQHead    int
 
 	// outQ buffers transactions awaiting the coalesced gossip flush, with
-	// the peer each one arrived from (never sent back there).
+	// the peer each one arrived from (never sent back there). The slice is
+	// recycled across flush windows.
 	outQ           []outItem
 	flushScheduled bool
+	// flushFn is the flush method value, bound once so scheduling a flush
+	// window does not allocate a fresh closure each time.
+	flushFn func()
+
+	// scratchOut is the reused per-delivery buffer of transactions made
+	// propagatable by one Transactions message. It is only live inside
+	// deliverTxs (single-threaded engine, hooks never re-enter delivery),
+	// and its contents are copied into outQ before reuse.
+	scratchOut []*types.Transaction
 
 	// OnTxAdmitted, when set, fires after a transaction enters the pool.
 	OnTxAdmitted func(rcpt TxReceipt, res txpool.Result)
@@ -83,7 +108,7 @@ func newNode(net *Network, id types.NodeID, cfg NodeConfig) *Node {
 	if cfg.Policy.Capacity == 0 {
 		cfg.Policy = txpool.Geth
 	}
-	return &Node{
+	nd := &Node{
 		id:           id,
 		net:          net,
 		cfg:          cfg,
@@ -91,6 +116,8 @@ func newNode(net *Network, id types.NodeID, cfg NodeConfig) *Node {
 		peers:        make(map[types.NodeID]struct{}),
 		announceLock: make(map[types.Hash]float64),
 	}
+	nd.flushFn = nd.flush
+	return nd
 }
 
 // ID returns the node id.
@@ -103,14 +130,11 @@ func (nd *Node) Config() NodeConfig { return nd.cfg }
 // interaction should go through the RPC facade).
 func (nd *Node) Pool() *txpool.Pool { return nd.pool }
 
-// Peers returns the node's active neighbors in ascending id order.
+// Peers returns the node's active neighbors in ascending id order. The
+// result is a copy of the maintained sorted peer list — callers may hold or
+// mutate it freely — but no longer pays a sort per call.
 func (nd *Node) Peers() []types.NodeID {
-	out := make([]types.NodeID, 0, len(nd.peers))
-	for id := range nd.peers {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return append([]types.NodeID(nil), nd.peersSorted...)
 }
 
 // Degree returns the number of active neighbors.
@@ -119,14 +143,37 @@ func (nd *Node) Degree() int { return len(nd.peers) }
 // AtCapacity reports whether the node refuses further peers.
 func (nd *Node) AtCapacity() bool { return len(nd.peers) >= nd.cfg.MaxPeers }
 
-func (nd *Node) addPeer(id types.NodeID)    { nd.peers[id] = struct{}{} }
-func (nd *Node) removePeer(id types.NodeID) { delete(nd.peers, id) }
+// addPeer inserts id into the peer set and its slot in the sorted list.
+func (nd *Node) addPeer(id types.NodeID) {
+	if _, ok := nd.peers[id]; ok {
+		return
+	}
+	nd.peers[id] = struct{}{}
+	i := sort.Search(len(nd.peersSorted), func(k int) bool { return nd.peersSorted[k] >= id })
+	nd.peersSorted = append(nd.peersSorted, 0)
+	copy(nd.peersSorted[i+1:], nd.peersSorted[i:])
+	nd.peersSorted[i] = id
+}
+
+// removePeer drops id from the peer set and the sorted list.
+func (nd *Node) removePeer(id types.NodeID) {
+	if _, ok := nd.peers[id]; !ok {
+		return
+	}
+	delete(nd.peers, id)
+	i := sort.Search(len(nd.peersSorted), func(k int) bool { return nd.peersSorted[k] >= id })
+	nd.peersSorted = append(nd.peersSorted[:i], nd.peersSorted[i+1:]...)
+}
 
 // SubmitLocal submits a transaction as if received over RPC from a local
-// user: it is offered to the pool and, if executable, propagated.
+// user: it is offered to the pool and, if executable, propagated. Unlike the
+// gossip delivery path it does not use the node's scratch buffers — local
+// submission is the cold entry point, and keeping it allocation-isolated
+// means a future hook that submits from inside a delivery callback cannot
+// corrupt an in-flight batch.
 func (nd *Node) SubmitLocal(tx *types.Transaction) txpool.Result {
 	res := nd.pool.Offer(tx)
-	if out := nd.propagatable(tx, res); len(out) > 0 && !nd.cfg.NoForward {
+	if out := nd.appendPropagatable(nil, tx, res); len(out) > 0 && !nd.cfg.NoForward {
 		nd.propagate(nd.id, out)
 	}
 	return res
@@ -136,7 +183,7 @@ func (nd *Node) SubmitLocal(tx *types.Transaction) txpool.Result {
 // arriving in one message propagate onward as one batched message per peer,
 // matching devp2p's batched Transactions frames.
 func (nd *Node) deliverTxs(from types.NodeID, txs []*types.Transaction) {
-	var out []*types.Transaction
+	out := nd.scratchOut[:0]
 	for _, tx := range txs {
 		rcpt := TxReceipt{From: from, Tx: tx, At: nd.net.Now()}
 		if nd.OnTxDelivered != nil {
@@ -149,16 +196,16 @@ func (nd *Node) deliverTxs(from types.NodeID, txs []*types.Transaction) {
 		if nd.OnTxAdmitted != nil && res.Status.Admitted() {
 			nd.OnTxAdmitted(rcpt, res)
 		}
-		out = append(out, nd.propagatable(tx, res)...)
+		out = nd.appendPropagatable(out, tx, res)
 	}
 	if len(out) > 0 && !nd.cfg.NoForward {
 		nd.propagate(from, out)
 	}
+	nd.scratchOut = out[:0] // keep the grown capacity for the next delivery
 }
 
-// propagatable returns what an admission makes eligible for gossip.
-func (nd *Node) propagatable(tx *types.Transaction, res txpool.Result) []*types.Transaction {
-	var out []*types.Transaction
+// appendPropagatable appends what an admission makes eligible for gossip.
+func (nd *Node) appendPropagatable(out []*types.Transaction, tx *types.Transaction, res txpool.Result) []*types.Transaction {
 	switch res.Status {
 	case txpool.StatusPending:
 		out = append(out, tx)
@@ -184,78 +231,97 @@ type outItem struct {
 
 // propagate queues executable transactions for the coalesced gossip flush —
 // the analogue of Geth's broadcast loop, which batches transactions rather
-// than emitting one message per admission.
+// than emitting one message per admission. The first enqueue of a window
+// schedules exactly one flush; everything arriving before it fires rides the
+// same batch.
 func (nd *Node) propagate(exclude types.NodeID, txs []*types.Transaction) {
+	if len(txs) == 0 {
+		return
+	}
 	for _, tx := range txs {
 		nd.outQ = append(nd.outQ, outItem{tx: tx, exclude: exclude})
 	}
-	if nd.flushScheduled || len(nd.outQ) == 0 {
+	if nd.flushScheduled {
 		return
 	}
 	nd.flushScheduled = true
-	interval := nd.net.cfg.FlushInterval
-	nd.net.eng.After(interval, nd.flush)
+	nd.net.eng.After(nd.net.cfg.FlushInterval, nd.flushFn)
 }
 
 // flush drains the out-queue: direct push to ⌈√peers⌉ random peers and
 // announcement to the rest (Geth ≥ 1.9.11), or push to all under
 // LegacyPushAll, never sending a transaction back where it came from.
+// Per-peer batches are built directly into pooled message buffers, so a
+// steady gossip flood allocates nothing here.
 func (nd *Node) flush() {
 	nd.flushScheduled = false
 	q := nd.outQ
-	nd.outQ = nil
 	if len(q) == 0 {
 		return
 	}
-	peers := nd.Peers()
+	peers := nd.peersSorted
 	if len(peers) == 0 {
+		nd.outQ = q[:0]
 		return
 	}
 	pushCount := len(peers)
 	if !nd.cfg.LegacyPushAll {
 		pushCount = int(math.Ceil(math.Sqrt(float64(len(peers)))))
 	}
-	perm := nd.net.eng.Perm(len(peers))
+	net := nd.net
+	perm := net.eng.Perm(len(peers))
 	for i, pi := range perm {
 		peer := peers[pi]
-		var batch []*types.Transaction
-		for _, it := range q {
-			if it.exclude != peer {
-				batch = append(batch, it.tx)
-			}
-		}
-		if len(batch) == 0 {
-			continue
-		}
 		if i < pushCount {
-			nd.sendTxs(peer, batch)
+			mi := net.msgTo(msgTxs, nd.id, peer)
+			if mi < 0 {
+				continue
+			}
+			batch := net.msgs[mi].txs[:0]
+			for _, it := range q {
+				if it.exclude != peer {
+					batch = append(batch, it.tx)
+				}
+			}
+			net.msgs[mi].txs = batch
+			if len(batch) == 0 {
+				net.freeMsg(mi)
+				continue
+			}
+			net.route(mi)
 		} else {
-			nd.sendAnnounce(peer, batch)
+			mi := net.msgTo(msgAnnounce, nd.id, peer)
+			if mi < 0 {
+				continue
+			}
+			hashes := net.msgs[mi].hashes[:0]
+			for _, it := range q {
+				if it.exclude != peer {
+					hashes = append(hashes, it.tx.Hash())
+				}
+			}
+			net.msgs[mi].hashes = hashes
+			if len(hashes) == 0 {
+				net.freeMsg(mi)
+				continue
+			}
+			net.route(mi)
 		}
 	}
-}
-
-// sendTxs pushes full transactions to one peer.
-func (nd *Node) sendTxs(to types.NodeID, txs []*types.Transaction) {
-	src := nd.id
-	nd.net.send(src, to, func(dst *Node) { dst.deliverTxs(src, txs) }, "txs")
-}
-
-// sendAnnounce sends a NewPooledTransactionHashes message to one peer.
-func (nd *Node) sendAnnounce(to types.NodeID, txs []*types.Transaction) {
-	src := nd.id
-	hashes := make([]types.Hash, len(txs))
-	for i, tx := range txs {
-		hashes[i] = tx.Hash()
-	}
-	nd.net.send(src, to, func(dst *Node) { dst.deliverAnnounce(src, hashes) }, "announce")
+	nd.outQ = q[:0] // recycle the drained queue for the next window
 }
 
 // deliverAnnounce handles an announcement: unknown, unlocked hashes are
 // requested back from the announcer and locked for the AnnounceLock window.
+// The request's hash list is built directly into a pooled message buffer.
 func (nd *Node) deliverAnnounce(from types.NodeID, hashes []types.Hash) {
-	now := nd.net.Now()
+	net := nd.net
+	now := net.Now()
+	mi := net.msgTo(msgRequest, nd.id, from)
 	var want []types.Hash
+	if mi >= 0 {
+		want = net.msgs[mi].hashes[:0]
+	}
 	for _, h := range hashes {
 		if nd.OnHashAnnounced != nil {
 			nd.OnHashAnnounced(from, h, now)
@@ -264,30 +330,72 @@ func (nd *Node) deliverAnnounce(from types.NodeID, hashes []types.Hash) {
 			continue
 		}
 		if until, ok := nd.announceLock[h]; ok && now < until {
-			nd.net.metrics.announceLockHits.Inc()
+			net.metrics.announceLockHits.Inc()
 			continue
 		}
-		nd.announceLock[h] = now + nd.net.cfg.AnnounceLock
-		want = append(want, h)
+		until := now + net.cfg.AnnounceLock
+		nd.announceLock[h] = until
+		nd.lockQ = append(nd.lockQ, lockEntry{h: h, until: until})
+		if mi >= 0 {
+			want = append(want, h)
+		}
 	}
-	if len(want) == 0 {
+	if mi < 0 {
 		return
 	}
-	src := nd.id
-	nd.net.send(src, from, func(dst *Node) { dst.deliverRequest(src, want) }, "request")
+	net.msgs[mi].hashes = want
+	if len(want) == 0 {
+		net.freeMsg(mi)
+		return
+	}
+	net.route(mi)
 }
 
 // deliverRequest answers a GetPooledTransactions request with whatever of
-// the asked hashes is still buffered.
+// the asked hashes is still buffered, assembling the reply in a pooled
+// message buffer.
 func (nd *Node) deliverRequest(from types.NodeID, hashes []types.Hash) {
-	var txs []*types.Transaction
-	for _, h := range hashes {
-		if tx := nd.pool.Get(h); tx != nil {
-			txs = append(txs, tx)
-		}
-	}
-	if len(txs) == 0 {
+	net := nd.net
+	mi := net.msgTo(msgTxs, nd.id, from)
+	if mi < 0 {
 		return
 	}
-	nd.sendTxs(from, txs)
+	reply := net.msgs[mi].txs[:0]
+	for _, h := range hashes {
+		if tx := nd.pool.Get(h); tx != nil {
+			reply = append(reply, tx)
+		}
+	}
+	net.msgs[mi].txs = reply
+	if len(reply) == 0 {
+		net.freeMsg(mi)
+		return
+	}
+	net.route(mi)
+}
+
+// sweepAnnounceLocks prunes expired announcement locks. The lock window is a
+// per-network constant, so lockQ is ordered by expiry and the sweep pops an
+// expired prefix — O(expired) per tick instead of O(armed) map scanning.
+// A hash re-armed after expiry leaves its stale entry behind; the map holds
+// the authoritative deadline, so stale entries whose hash was re-armed are
+// skipped (lazy deletion) and collected by the later entry.
+func (nd *Node) sweepAnnounceLocks(now float64) {
+	q := nd.lockQ
+	head := nd.lockQHead
+	for head < len(q) && now >= q[head].until {
+		ent := q[head]
+		head++
+		if cur, ok := nd.announceLock[ent.h]; ok && now >= cur {
+			delete(nd.announceLock, ent.h)
+		}
+	}
+	nd.lockQHead = head
+	// Compact once the dead prefix dominates so the ring's memory tracks the
+	// live lock population, amortized O(1) per armed lock.
+	if head > 0 && head*2 >= len(q) {
+		n := copy(q, q[head:])
+		nd.lockQ = q[:n]
+		nd.lockQHead = 0
+	}
 }

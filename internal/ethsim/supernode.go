@@ -109,19 +109,22 @@ func (s *Supernode) Inject(to types.NodeID, txs ...*types.Transaction) {
 		if n > len(txs) {
 			n = len(txs)
 		}
-		batch := append([]*types.Transaction(nil), txs[:n]...)
-		txs = txs[n:]
 		at := s.net.Now()
 		if s.sendCursor > at {
 			at = s.sendCursor
 		}
 		at += spacing
 		s.sendCursor = at
-		s.net.eng.At(at, func() {
-			s.net.send(src, to, func(dst *Node) {
-				dst.deliverTxs(src, batch)
-			}, "txs")
-		})
+		// The batch rides a pooled msgInject slot: when the uplink-pacing
+		// event fires, the network turns it into a routed msgTxs with
+		// freshly sampled latency — the same two-stage timing as before,
+		// without a closure or batch copy per message.
+		if mi := s.net.msgTo(msgInject, src, to); mi >= 0 {
+			m := &s.net.msgs[mi]
+			m.txs = append(m.txs[:0], txs[:n]...)
+			s.net.eng.AtHandler(at, s.net, uint64(mi))
+		}
+		txs = txs[n:]
 	}
 }
 

@@ -45,7 +45,16 @@ func golden(t *testing.T, name, got string) {
 }
 
 func TestNoDeterminismGolden(t *testing.T) {
-	golden(t, "nodeterminism", checkFixture(t, "nodeterminism", "toposhot/internal/sim/fixture"))
+	golden(t, "nodeterminism", checkFixture(t, "nodeterminism", "toposhot/internal/core/fixture"))
+}
+
+// TestHotPathGolden loads one fixture under both hot-path scopes: under the
+// ethsim path only delivery-path functions reject map iteration; under the
+// sim path the whole package is hot and every map range is flagged. The
+// container/heap import is flagged in both.
+func TestHotPathGolden(t *testing.T) {
+	golden(t, "hotpath_ethsim", checkFixture(t, "hotpath", "toposhot/internal/ethsim/fixture"))
+	golden(t, "hotpath_sim", checkFixture(t, "hotpath", "toposhot/internal/sim/fixture"))
 }
 
 func TestLockSafeGolden(t *testing.T) {

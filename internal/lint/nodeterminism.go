@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // nodeterminismScope lists the packages whose results must be reproducible
@@ -33,9 +34,38 @@ var randAllowed = map[string]bool{
 	"New": true, "NewSource": true, "NewZipf": true,
 }
 
+// heapBanScope are the hot-path packages where container/heap is banned in
+// non-test code: event scheduling and message delivery run on the engine's
+// specialized index heap (DESIGN.md §8), and container/heap's interface
+// boxing reintroduces the per-event allocations the hot-path overhaul
+// removed. Test files may still use it — the queue fuzzer pins pop order
+// against a container/heap reference.
+var heapBanScope = []string{
+	modulePrefix + "/internal/sim",
+	modulePrefix + "/internal/ethsim",
+}
+
+// deliveryPathFuncs names the ethsim functions on the per-message delivery
+// path, where any map iteration is banned outright — not merely the
+// order-leaking writes mapOrderFindings catches. The hot path iterates only
+// slices held in deterministic order (peersSorted, lockQ, outQ, pooled
+// buffers). pruneDeliveryHorizon and Edges legitimately range over maps and
+// are deliberately not listed.
+var deliveryPathFuncs = map[string]bool{
+	"flush":              true,
+	"deliverTxs":         true,
+	"deliverAnnounce":    true,
+	"deliverRequest":     true,
+	"propagate":          true,
+	"sweepAnnounceLocks": true,
+	"HandleEvent":        true,
+	"route":              true,
+	"TickPools":          true,
+}
+
 var analyzerNoDeterminism = &Analyzer{
 	Name: "nodeterminism",
-	Doc:  "simulation packages must be seed-reproducible: no wall clock, no global math/rand, no map-iteration-order-dependent results",
+	Doc:  "simulation packages must be seed-reproducible: no wall clock, no global math/rand, no map-iteration-order-dependent results, no container/heap or map iteration on the scheduling/delivery hot path",
 	Run:  runNoDeterminism,
 }
 
@@ -71,6 +101,54 @@ func runNoDeterminism(pkg *Package) []Finding {
 		})
 	}
 	findings = append(findings, mapOrderFindings(pkg)...)
+	findings = append(findings, hotPathFindings(pkg)...)
+	return findings
+}
+
+// hotPathFindings enforces the hot-path rules in heapBanScope packages:
+// no container/heap anywhere, and no map iteration inside internal/sim
+// (the whole package is scheduler hot path) or inside the named ethsim
+// delivery-path functions.
+func hotPathFindings(pkg *Package) []Finding {
+	if !pathIn(pkg.Path, heapBanScope...) {
+		return nil
+	}
+	var findings []Finding
+	for _, file := range pkg.Files {
+		for _, imp := range file.Imports {
+			if strings.Trim(imp.Path.Value, `"`) == "container/heap" {
+				findings = append(findings, report(pkg, imp, "nodeterminism",
+					"container/heap in a hot-path package; use the engine's specialized index heap (DESIGN.md §8)"))
+			}
+		}
+	}
+	wholePackage := pathIn(pkg.Path, modulePrefix+"/internal/sim")
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if !wholePackage && !deliveryPathFuncs[fn.Name.Name] {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := pkg.Info.Types[rng.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					findings = append(findings, report(pkg, rng, "nodeterminism",
+						"map iteration in hot-path function "+fn.Name.Name+"; scheduling/delivery code iterates slices in deterministic order"))
+				}
+				return true
+			})
+		}
+	}
 	return findings
 }
 

@@ -1,6 +1,7 @@
 // Package fixture exercises the nodeterminism analyzer. The test loads it
-// under the claimed import path toposhot/internal/sim/fixture so the
-// simulation-scope checks apply.
+// under the claimed import path toposhot/internal/core/fixture so the
+// simulation-scope checks apply without the stricter hot-path rules that
+// cover internal/sim (see the hotpath fixture for those).
 package fixture
 
 import (

@@ -7,47 +7,54 @@
 // a single seeded random source owned by the engine; two runs with the same
 // seed replay identically, which is what makes the Appendix-C twin-world
 // non-interference experiment possible.
+//
+// The scheduler is built for the gossip-flood hot path: events live in an
+// engine-owned arena indexed by a 4-ary heap of int32 slot numbers, and freed
+// slots are recycled through a free list, so steady-state scheduling performs
+// no allocation and no interface boxing. Events carry either a closure (the
+// general API) or a Handler plus a uint64 argument (the allocation-free API
+// the network simulator uses for its pooled messages). The pop order is the
+// strict total order (at, seq) — identical for any correct priority queue —
+// so the heap's arity and layout are pure implementation details that can
+// never change a replay. See DESIGN.md §8 for the invariants.
 package sim
 
 import (
-	"container/heap"
 	"math"
 	"math/rand"
 )
+
+// Handler receives typed events scheduled with AtHandler/AfterHandler. It is
+// the allocation-free alternative to closure events: one long-lived object
+// (e.g. the network) handles every event kind, switching on arg.
+type Handler interface {
+	HandleEvent(arg uint64)
+}
+
+// event is one scheduled occurrence. Exactly one of fn and h is set.
+type event struct {
+	at  float64
+	seq uint64 // tie-break: FIFO among same-time events
+	fn  func()
+	h   Handler
+	arg uint64
+}
 
 // Engine is a discrete-event scheduler over virtual seconds.
 // It is not safe for concurrent use; simulations are single-threaded by
 // design so that runs are reproducible.
 type Engine struct {
-	now    float64
-	seq    uint64
-	events eventHeap
-	rng    *rand.Rand
-}
+	now float64
+	seq uint64
 
-type event struct {
-	at  float64
-	seq uint64 // tie-break: FIFO among same-time events
-	fn  func()
-}
+	// arena stores events by value; heap orders arena indices by (at, seq);
+	// free recycles popped slots. Once the arena has grown to the simulation's
+	// peak in-flight event count, scheduling allocates nothing.
+	arena []event
+	free  []int32
+	heap  []int32
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	rng *rand.Rand
 }
 
 // New returns an engine with virtual time 0 and a deterministic random
@@ -64,30 +71,119 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 
 // At schedules fn at absolute virtual time t. Scheduling in the past runs
 // the event at the current time instead (never backwards).
-func (e *Engine) At(t float64, fn func()) {
+func (e *Engine) At(t float64, fn func()) { e.schedule(t, fn, nil, 0) }
+
+// After schedules fn d seconds from now.
+func (e *Engine) After(d float64, fn func()) { e.schedule(e.now+d, fn, nil, 0) }
+
+// AtHandler schedules h.HandleEvent(arg) at absolute virtual time t. Unlike
+// At it captures nothing, so steady-state scheduling through a reused
+// Handler is allocation-free.
+func (e *Engine) AtHandler(t float64, h Handler, arg uint64) { e.schedule(t, nil, h, arg) }
+
+// AfterHandler schedules h.HandleEvent(arg) d seconds from now.
+func (e *Engine) AfterHandler(d float64, h Handler, arg uint64) { e.schedule(e.now+d, nil, h, arg) }
+
+// schedule stores the event in a recycled arena slot and pushes its index
+// onto the heap. The (at, seq) key is unique per event, so the heap's sift
+// order can never influence pop order.
+func (e *Engine) schedule(t float64, fn func(), h Handler, arg uint64) {
 	if t < e.now {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+	var idx int32
+	if n := len(e.free); n > 0 {
+		idx = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.arena = append(e.arena, event{})
+		idx = int32(len(e.arena) - 1)
+	}
+	e.arena[idx] = event{at: t, seq: e.seq, fn: fn, h: h, arg: arg}
+	e.heap = append(e.heap, idx)
+	e.siftUp(len(e.heap) - 1)
 }
 
-// After schedules fn d seconds from now.
-func (e *Engine) After(d float64, fn func()) { e.At(e.now+d, fn) }
+// less orders two arena slots by (at, seq) — a strict total order because
+// seq is unique.
+func (e *Engine) less(a, b int32) bool {
+	ea, eb := &e.arena[a], &e.arena[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
+	}
+	return ea.seq < eb.seq
+}
+
+// siftUp restores the 4-ary heap property from leaf i upward.
+func (e *Engine) siftUp(i int) {
+	h := e.heap
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !e.less(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+// siftDown restores the 4-ary heap property from the root downward. A 4-ary
+// layout halves the tree depth of a binary heap: pushes compare against one
+// parent per level and the extra child comparisons on pop stay in one cache
+// line of the int32 index slice.
+func (e *Engine) siftDown(i int) {
+	h := e.heap
+	n := len(h)
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			return
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if e.less(h[c], h[min]) {
+				min = c
+			}
+		}
+		if !e.less(h[min], h[i]) {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+}
 
 // Step executes the next pending event and reports whether one existed.
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
+	if len(e.heap) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(event)
+	idx := e.heap[0]
+	last := len(e.heap) - 1
+	e.heap[0] = e.heap[last]
+	e.heap = e.heap[:last]
+	if last > 0 {
+		e.siftDown(0)
+	}
+	ev := e.arena[idx]
+	e.arena[idx] = event{} // release the closure/handler references
+	e.free = append(e.free, idx)
 	e.now = ev.at
-	ev.fn()
+	if ev.fn != nil {
+		ev.fn()
+	} else if ev.h != nil {
+		ev.h.HandleEvent(ev.arg)
+	}
 	return true
 }
 
 // Pending returns the number of scheduled events.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return len(e.heap) }
 
 // Run executes events until the queue drains or the event budget is
 // exhausted. The budget guards against runaway self-rescheduling loops; a
@@ -106,7 +202,7 @@ func (e *Engine) Run(budget int) {
 // RunUntil executes events with timestamps ≤ t and then advances the clock
 // to exactly t. Events scheduled beyond t remain pending.
 func (e *Engine) RunUntil(t float64) {
-	for len(e.events) > 0 && e.events[0].at <= t {
+	for len(e.heap) > 0 && e.arena[e.heap[0]].at <= t {
 		e.Step()
 	}
 	if t > e.now {
