@@ -49,3 +49,4 @@ fuzz:
 	$(GO) test -fuzz=FuzzRLPDecode -fuzztime=30s ./internal/rlp/
 	$(GO) test -fuzz=FuzzFrameParse -fuzztime=30s ./internal/wire/
 	$(GO) test -fuzz=FuzzEventQueue -fuzztime=30s ./internal/sim/
+	$(GO) test -fuzz=FuzzTraceJSONL -fuzztime=30s ./internal/trace/

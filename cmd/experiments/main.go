@@ -22,6 +22,7 @@ import (
 	"toposhot/internal/metrics"
 	"toposhot/internal/profile"
 	runnerpool "toposhot/internal/runner"
+	"toposhot/internal/trace"
 	"toposhot/internal/txpool"
 )
 
@@ -165,9 +166,25 @@ func main() {
 	metricsEvery := flag.Duration("metrics-interval", 10*time.Second, "progress line interval under -metrics")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	traceOut := flag.String("trace", "", "write a timeline trace to this file (.jsonl = JSONL, else Chrome/Perfetto JSON)")
+	traceLevel := flag.String("trace-level", "measure", "trace verbosity with -trace: off|measure|engine")
+	traceDet := flag.Bool("trace-deterministic", false, "suppress wall-clock fields so same-seed runs produce byte-identical traces (use with -parallel 1)")
 	flag.Parse()
 
 	runnerpool.SetParallelism(*parallel)
+
+	flushTrace := func() error { return nil }
+	if *traceOut != "" {
+		lv, err := trace.ParseLevel(*traceLevel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if tr := trace.New(trace.Options{Level: lv, Deterministic: *traceDet}); tr != nil {
+			trace.Enable(tr) // networks, measurers, and sweeps self-wire
+			flushTrace = func() error { return tr.Snapshot().WriteFile(*traceOut) }
+		}
+	}
 
 	prof, err := profile.StartRuntime(*cpuprofile, *memprofile)
 	if err != nil {
@@ -216,7 +233,7 @@ func main() {
 	censusNeeds := map[string][]string{
 		"fig6": {"ropsten"}, "table4": {"ropsten"}, "table5": {"ropsten"},
 		"table7": {"ropsten", "rinkeby", "goerli"},
-		"fig8": {"rinkeby"}, "fig9": {"goerli"},
+		"fig8":   {"rinkeby"}, "fig9": {"goerli"},
 		"table9": {"rinkeby"}, "table10": {"goerli"},
 	}
 	needed := map[string]bool{}
@@ -250,5 +267,9 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "no experiment matched %q; known: %s\n", *run, strings.Join(names, ", "))
 		os.Exit(2)
+	}
+	if err := flushTrace(); err != nil {
+		fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+		os.Exit(1)
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"toposhot/internal/netgen"
 	"toposhot/internal/profile"
 	"toposhot/internal/runner"
+	"toposhot/internal/trace"
 	"toposhot/internal/txpool"
 	"toposhot/internal/types"
 )
@@ -39,7 +40,17 @@ func main() {
 	metricsEvery := flag.Duration("metrics-interval", 10*time.Second, "progress line interval under -metrics")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	traceOut := flag.String("trace", "", "write a timeline trace to this file (.jsonl = JSONL, else Chrome/Perfetto JSON)")
+	traceLevel := flag.String("trace-level", "measure", "trace verbosity with -trace: off|measure|engine")
+	traceDet := flag.Bool("trace-deterministic", false, "suppress wall-clock fields so same-seed runs produce byte-identical traces")
 	flag.Parse()
+
+	tracer, flushTrace, err := setupTrace(*traceOut, *traceLevel, *traceDet)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	_ = tracer
 
 	prof, err := profile.StartRuntime(*cpuprofile, *memprofile)
 	if err != nil {
@@ -127,6 +138,10 @@ func main() {
 	fmt.Fprintf(os.Stderr, "done in %.2f virtual hours over %d calls: %v\n",
 		res.Duration/3600, res.Calls, sc)
 	fmt.Fprintf(os.Stderr, "worst-case cost: %.4f ETH\n", core.Ether(m.Ledger.WorstCaseWei()))
+	if err := flushTrace(); err != nil {
+		fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+		os.Exit(1)
+	}
 
 	dst := os.Stdout
 	if *out != "" {
@@ -147,4 +162,23 @@ func main() {
 			fmt.Fprintf(bw, "%d %d\n", va, vb)
 		}
 	}
+}
+
+// setupTrace creates and enables the process-default tracer per the -trace
+// flags and returns a flush function that snapshots and writes the trace
+// file. With tracing off both returns are no-ops.
+func setupTrace(out, level string, deterministic bool) (*trace.Tracer, func() error, error) {
+	if out == "" {
+		return nil, func() error { return nil }, nil
+	}
+	lv, err := trace.ParseLevel(level)
+	if err != nil {
+		return nil, nil, err
+	}
+	tr := trace.New(trace.Options{Level: lv, Deterministic: deterministic})
+	if tr == nil {
+		return nil, func() error { return nil }, nil
+	}
+	trace.Enable(tr) // networks and measurers self-wire, like metrics
+	return tr, func() error { return tr.Snapshot().WriteFile(out) }, nil
 }

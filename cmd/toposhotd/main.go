@@ -9,7 +9,10 @@
 //	toposhotd -listen 127.0.0.1:30311 -metrics-http 127.0.0.1:9311
 //
 // With -metrics-http the daemon serves a JSON snapshot of every node,
-// txpool, and per-peer instrument at GET /metrics.
+// txpool, and per-peer instrument at GET /metrics (Prometheus text
+// exposition with ?format=prom or an Accept: text/plain header), the
+// in-memory timeline trace at GET /trace/snapshot (Chrome/Perfetto JSON;
+// ?format=jsonl for JSONL), and span-derived progress/ETA at GET /progress.
 package main
 
 import (
@@ -26,6 +29,7 @@ import (
 
 	"toposhot/internal/metrics"
 	"toposhot/internal/node"
+	"toposhot/internal/trace"
 	"toposhot/internal/txpool"
 )
 
@@ -39,7 +43,20 @@ func main() {
 	metricsHTTP := flag.String("metrics-http", "", "serve a JSON /metrics endpoint on this address (empty = off)")
 	readIdle := flag.Duration("read-idle", 0, "idle read deadline per peer (0 = default, negative = disabled)")
 	writeTimeout := flag.Duration("write-timeout", 0, "per-frame write deadline per peer (0 = default, negative = disabled)")
+	traceLevel := flag.String("trace-level", "measure", "in-memory trace verbosity: off|measure|engine (served at /trace/snapshot)")
 	flag.Parse()
+
+	lv, err := trace.ParseLevel(*traceLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	// The daemon is a live process, so its trace lane runs on wall seconds
+	// since startup rather than a simulation clock.
+	start := time.Now()
+	tracer := trace.New(trace.Options{Level: lv})
+	tracer.SetClock(func() float64 { return time.Since(start).Seconds() })
+	trace.Enable(tracer) // the node self-wires, like metrics
 
 	pol, ok := txpool.ClientByName(*client)
 	if !ok {
@@ -73,10 +90,41 @@ func main() {
 	if *metricsHTTP != "" {
 		mux := http.NewServeMux()
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			// Prometheus scrapers negotiate the text exposition via
+			// ?format=prom or a text/plain Accept header; everything
+			// else gets the richer JSON snapshot.
+			if r.URL.Query().Get("format") == "prom" ||
+				strings.Contains(r.Header.Get("Accept"), "text/plain") {
+				w.Header().Set("Content-Type", metrics.PromContentType)
+				if err := reg.Snapshot().WriteProm(w); err != nil {
+					http.Error(w, err.Error(), http.StatusInternalServerError)
+				}
+				return
+			}
 			w.Header().Set("Content-Type", "application/json")
 			if err := reg.WriteJSON(w); err != nil {
 				http.Error(w, err.Error(), http.StatusInternalServerError)
 			}
+		})
+		mux.HandleFunc("/trace/snapshot", func(w http.ResponseWriter, r *http.Request) {
+			snap := tracer.Snapshot()
+			if r.URL.Query().Get("format") == "jsonl" {
+				w.Header().Set("Content-Type", "application/jsonl")
+				if err := snap.WriteJSONL(w); err != nil {
+					http.Error(w, err.Error(), http.StatusInternalServerError)
+				}
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			if err := snap.WriteChromeJSON(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+		mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(tracer.Snapshot().Progress())
 		})
 		mux.HandleFunc("/peers", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "application/json")

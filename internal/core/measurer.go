@@ -14,7 +14,54 @@ import (
 	"toposhot/internal/ethsim"
 	"toposhot/internal/metrics"
 	"toposhot/internal/stats"
+	"toposhot/internal/trace"
 	"toposhot/internal/types"
+)
+
+// Span and event names recorded by the measurement layer. The trace-spanname
+// lint rule requires every StartSpan/Event name to be one of these constants,
+// keeping the name table stable so traces stay diffable across runs.
+const (
+	// SpanOneLink wraps one MeasureOneLink primitive; children below are the
+	// paper's phases (§5.2).
+	SpanOneLink   = "measure-one-link"
+	spanEstimateY = "estimateY"
+	spanSendTxC   = "send-txC"
+	spanWaitX     = "wait-X"
+	spanEvictZ    = "evict-Z"
+	spanPlantTxB  = "plant-txB"
+	spanPlantTxA  = "plant-txA"
+	spanDrain     = "drain"
+	spanDecide    = "decide"
+	spanVerifyRPC = "verify-eviction"
+	// SpanPar wraps one MeasurePar group; SpanNetwork one whole-network
+	// schedule; SpanSerial the all-pairs serial baseline.
+	SpanPar         = "measure-par"
+	SpanNetwork     = "measure-network"
+	SpanSerial      = "measure-all-pairs"
+	spanSinkSetup   = "sink-setup"
+	spanSourceSetup = "source-setup"
+
+	evTxCBuffered = "txC-still-buffered"
+	evSetupFailed = "setup-failed"
+)
+
+// Attribute keys used on measurement spans.
+const (
+	// AttrVerdict carries the Step-4 classification (ethsim.Verdict.String):
+	// detected, timeout, isolation-violated, or replaced-elsewhere.
+	AttrVerdict  = "verdict"
+	attrNodeA    = "a"
+	attrNodeB    = "b"
+	attrNode     = "node"
+	attrY        = "y"
+	attrZ        = "z"
+	attrRepeat   = "repeat"
+	attrEdges    = "edges"
+	attrNodes    = "nodes"
+	attrK        = "k"
+	attrDetected = "detected"
+	attrFailed   = "setup_failed"
 )
 
 // Params configures the measurement primitive measureOneLink(A,B,X,Y,Z,R,U).
@@ -116,8 +163,12 @@ type Measurer struct {
 	// Ledger accumulates cost accounting.
 	Ledger *Ledger
 
-	// Trace, when set, receives step-by-step progress lines.
-	Trace func(format string, args ...interface{})
+	// tracer records measurement spans; nil no-ops every call.
+	tracer *trace.Tracer
+
+	// repeatIdx is the current MeasureLinkRepeated iteration, carried as the
+	// repeat attr on SpanOneLink.
+	repeatIdx int
 
 	// metrics holds the campaign instruments; its zero value is a no-op.
 	metrics measureMetrics
@@ -138,8 +189,23 @@ func NewMeasurer(net *ethsim.Network, super *ethsim.Supernode, params Params) *M
 	if r := metrics.Enabled(); r != nil {
 		m.SetMetrics(r)
 	}
+	if tr := trace.Enabled(); tr != nil {
+		m.SetTracer(tr)
+	}
 	return m
 }
+
+// SetTracer binds the measurer to a trace lane and points the lane's clock at
+// the network's virtual time. Experiments that fan out over workers pass each
+// measurer its own pre-created lane; the default wiring (trace.Enabled) puts
+// a lone measurer on the root lane. Passing nil disables tracing.
+func (m *Measurer) SetTracer(t *trace.Tracer) {
+	m.tracer = t
+	t.SetClock(m.net.Now)
+}
+
+// Tracer returns the measurer's trace lane (nil when tracing is off).
+func (m *Measurer) Tracer() *trace.Tracer { return m.tracer }
 
 // Params returns the measurer's configuration.
 func (m *Measurer) Params() Params { return m.params }
@@ -152,12 +218,6 @@ func (m *Measurer) Supernode() *ethsim.Supernode { return m.super }
 
 // Network returns the network under measurement.
 func (m *Measurer) Network() *ethsim.Network { return m.net }
-
-func (m *Measurer) trace(format string, args ...interface{}) {
-	if m.Trace != nil {
-		m.Trace(format, args...)
-	}
-}
 
 // freshAccount mints a measurement account never seen by the network.
 func (m *Measurer) freshAccount() types.Address {
@@ -245,56 +305,87 @@ func (m *Measurer) MeasureOneLink(a, b types.NodeID) (bool, error) {
 	if m.net.Node(a) == nil || m.net.Node(b) == nil {
 		return false, fmt.Errorf("core: unknown target %v or %v", a, b)
 	}
+	span := m.tracer.StartSpan(SpanOneLink,
+		trace.Int(attrNodeA, int64(a)), trace.Int(attrNodeB, int64(b)),
+		trace.Int(attrRepeat, int64(m.repeatIdx)))
+	defer span.End()
+
+	ys := m.tracer.StartSpan(spanEstimateY)
 	y := m.resolveY()
+	ys.End()
+	span.SetAttr(trace.Int(attrY, int64(y)))
 	acctC := m.freshAccount()
 
 	// Step 1: plant txC on A and let it flood the network for X seconds.
+	sc := m.tracer.StartSpan(spanSendTxC)
 	txC := m.mintTx(acctC, 0, m.params.PriceTxC(y))
 	m.Ledger.RecordPending(txC)
 	m.super.Inject(a, txC)
-	m.trace("step1: txC=%v → %v, waiting X=%.1fs", txC.Hash(), a, m.params.X)
+	sc.End()
+	wx := m.tracer.StartSpan(spanWaitX)
 	m.net.RunFor(m.params.X)
+	wx.End()
 
 	// Step 2: fill B with futures (evicting txC there), then plant txB.
+	ev := m.tracer.StartSpan(spanEvictZ,
+		trace.Int(attrNode, int64(b)), trace.Int(attrZ, int64(m.zFor(b))))
 	futB := m.mintFutures(m.zFor(b), m.params.PriceFuture(y))
 	m.Ledger.RecordFutures(futB)
 	m.super.Inject(b, futB...)
+	ev.End()
+	pb := m.tracer.StartSpan(spanPlantTxB)
 	txB := m.mintTx(acctC, 0, m.params.PriceTxB(y))
 	txB.To = txC.To
 	m.Ledger.RecordPending(txB)
 	m.super.Inject(b, txB)
+	pb.End()
+	dr := m.tracer.StartSpan(spanDrain)
 	m.runUntilDrained()
+	dr.End()
 
 	// Step 3: same on A, planting txA.
+	ev = m.tracer.StartSpan(spanEvictZ,
+		trace.Int(attrNode, int64(a)), trace.Int(attrZ, int64(m.zFor(a))))
 	futA := m.mintFutures(m.zFor(a), m.params.PriceFuture(y))
 	m.Ledger.RecordFutures(futA)
 	m.super.Inject(a, futA...)
+	ev.End()
+	pa := m.tracer.StartSpan(spanPlantTxA)
 	txA := m.mintTx(acctC, 0, m.params.PriceTxA(y))
 	txA.To = txC.To
 	m.Ledger.RecordPending(txA)
 	checkFrom := m.net.Now()
 	m.super.Inject(a, txA)
+	pa.End()
+	dr = m.tracer.StartSpan(spanDrain)
 	m.runUntilDrained()
+	dr.End()
 
 	if m.params.VerifyEviction {
+		vs := m.tracer.StartSpan(spanVerifyRPC)
 		for _, id := range []types.NodeID{a, b} {
 			if tx, err := m.net.Node(id).RPC().GetTransactionByHash(txC.Hash()); err == nil && tx != nil {
-				m.trace("warning: txC still buffered on %v", id)
+				m.tracer.Event(evTxCBuffered, trace.Int(attrNode, int64(id)))
 			}
 		}
+		vs.End()
 	}
 
 	// Step 4: does M receive txA from B — and only from B? Receiving txA
 	// from any other peer means isolation broke; the observation is
 	// discarded, trading recall for the guaranteed 100% precision.
+	dc := m.tracer.StartSpan(spanDecide)
 	m.net.RunFor(m.params.SettleTime)
-	detected := m.super.ObservedOnlyFrom(b, txA.Hash(), checkFrom)
+	verdict := m.super.VerdictFor(b, txA.Hash(), checkFrom)
+	detected := verdict.Detected()
+	dc.SetAttr(trace.String(AttrVerdict, verdict.String()))
+	dc.End()
+	span.SetAttr(trace.String(AttrVerdict, verdict.String()))
 	m.metrics.oneLinks.Inc()
 	m.metrics.edgesMeasured.Inc()
 	if detected {
 		m.metrics.edgesDetected.Inc()
 	}
-	m.trace("step4: link %v–%v detected=%v", a, b, detected)
 	return detected, nil
 }
 
@@ -304,7 +395,9 @@ func (m *Measurer) MeasureLinkRepeated(a, b types.NodeID, repeats int) (bool, er
 	if repeats < 1 {
 		repeats = 1
 	}
+	defer func() { m.repeatIdx = 0 }()
 	for i := 0; i < repeats; i++ {
+		m.repeatIdx = i
 		ok, err := m.MeasureOneLink(a, b)
 		if err != nil {
 			return false, err

@@ -5,6 +5,7 @@ import (
 
 	"toposhot/internal/ethsim"
 	"toposhot/internal/netgen"
+	"toposhot/internal/trace"
 	"toposhot/internal/txpool"
 	"toposhot/internal/types"
 )
@@ -161,5 +162,125 @@ func TestMeasureSmallWorldNetwork(t *testing.T) {
 	}
 	if sc.Recall() < 0.95 {
 		t.Errorf("recall %.3f want ≥0.95 on uniform local net (%v)", sc.Recall(), sc)
+	}
+}
+
+// TestMeasureOneLinkTraceSpans asserts the measurement layer's span
+// structure: one measure-one-link span per primitive, the paper's phase
+// children beneath it, and the Step-4 verdict as a structured attribute.
+func TestMeasureOneLinkTraceSpans(t *testing.T) {
+	_, m, ids := buildRing(t, 8, 5)
+	tr := trace.New(trace.Options{Level: trace.LevelMeasure, Deterministic: true})
+	m.SetTracer(tr)
+
+	if ok, err := m.MeasureOneLink(ids[0], ids[1]); err != nil || !ok {
+		t.Fatalf("adjacent measure = %v, %v", ok, err)
+	}
+	if ok, err := m.MeasureOneLink(ids[0], ids[4]); err != nil || ok {
+		t.Fatalf("antipodal measure = %v, %v", ok, err)
+	}
+
+	snap := tr.Snapshot()
+	if len(snap.Lanes) != 1 {
+		t.Fatalf("got %d lanes, want 1", len(snap.Lanes))
+	}
+	var roots []trace.Record
+	children := make(map[uint64]map[string]int)
+	for _, r := range snap.Lanes[0].Records {
+		if r.Name == SpanOneLink {
+			roots = append(roots, r)
+			continue
+		}
+		if r.Parent != 0 {
+			if children[r.Parent] == nil {
+				children[r.Parent] = make(map[string]int)
+			}
+			children[r.Parent][r.Name]++
+		}
+	}
+	if len(roots) != 2 {
+		t.Fatalf("got %d measure-one-link spans, want 2", len(roots))
+	}
+	wantVerdicts := []string{"detected", "timeout"}
+	for i, root := range roots {
+		a, ok := root.Attr(AttrVerdict)
+		if !ok {
+			t.Fatalf("span %d has no verdict attr: %+v", i, root)
+		}
+		if a.Value() != wantVerdicts[i] {
+			t.Errorf("span %d verdict = %v, want %q", i, a.Value(), wantVerdicts[i])
+		}
+		kids := children[root.ID]
+		for _, phase := range []string{spanEstimateY, spanSendTxC, spanWaitX, spanPlantTxB, spanPlantTxA, spanDecide} {
+			if kids[phase] != 1 {
+				t.Errorf("span %d: %d %q children, want 1", i, kids[phase], phase)
+			}
+		}
+		for _, phase := range []string{spanEvictZ, spanDrain} {
+			if kids[phase] != 2 {
+				t.Errorf("span %d: %d %q children, want 2", i, kids[phase], phase)
+			}
+		}
+		if a, ok := root.Attr("repeat"); !ok || a.Value() != int64(0) {
+			t.Errorf("span %d repeat attr = %v, %v; want 0", i, a.Value(), ok)
+		}
+		if _, ok := root.Attr("y"); !ok {
+			t.Errorf("span %d missing y attr", i)
+		}
+	}
+}
+
+// TestVerdictReasons drives all four Step-4 classifications through
+// VerdictFor by feeding the supernode crafted receipts, and pins the
+// trace-attribute spellings the measurement spans record.
+func TestVerdictReasons(t *testing.T) {
+	_, m, ids := buildRing(t, 4, 6)
+	super := m.Supernode()
+	now := m.Network().Now()
+	sink, other := ids[0], ids[1]
+
+	mk := func(seed uint64) *types.Transaction {
+		return types.NewTransaction(types.AddressFromUint64(seed), types.AddressFromUint64(seed+1), 0, 1, 0)
+	}
+	deliver := func(from types.NodeID, tx *types.Transaction) {
+		super.Node().OnTxDelivered(ethsim.TxReceipt{From: from, Tx: tx, At: now + 1})
+	}
+
+	txTimeout := mk(100)
+	if v := super.VerdictFor(sink, txTimeout.Hash(), now); v != ethsim.VerdictTimeout {
+		t.Errorf("unseen tx verdict = %v, want timeout", v)
+	}
+	txDet := mk(200)
+	deliver(sink, txDet)
+	if v := super.VerdictFor(sink, txDet.Hash(), now); v != ethsim.VerdictDetected {
+		t.Errorf("sink-only verdict = %v, want detected", v)
+	}
+	txElse := mk(300)
+	deliver(other, txElse)
+	if v := super.VerdictFor(sink, txElse.Hash(), now); v != ethsim.VerdictReplacedElsewhere {
+		t.Errorf("other-only verdict = %v, want replaced-elsewhere", v)
+	}
+	txIso := mk(400)
+	deliver(sink, txIso)
+	deliver(other, txIso)
+	if v := super.VerdictFor(sink, txIso.Hash(), now); v != ethsim.VerdictIsolationViolated {
+		t.Errorf("both verdict = %v, want isolation-violated", v)
+	}
+	// An announcement from another peer alone also breaks isolation evidence.
+	txAnn := mk(500)
+	deliver(sink, txAnn)
+	super.Node().OnHashAnnounced(other, txAnn.Hash(), now+2)
+	if v := super.VerdictFor(sink, txAnn.Hash(), now); v != ethsim.VerdictIsolationViolated {
+		t.Errorf("announce verdict = %v, want isolation-violated", v)
+	}
+
+	if ethsim.VerdictTimeout.String() != "timeout" ||
+		ethsim.VerdictIsolationViolated.String() != "isolation-violated" ||
+		ethsim.VerdictReplacedElsewhere.String() != "replaced-elsewhere" ||
+		ethsim.VerdictDetected.String() != "detected" {
+		t.Error("verdict strings drifted from the trace-attribute spellings")
+	}
+	if !ethsim.VerdictDetected.Detected() || ethsim.VerdictTimeout.Detected() {
+		t.Error("Detected() classification wrong")
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"toposhot/internal/trace"
 	"toposhot/internal/types"
 )
 
@@ -61,7 +62,13 @@ func (m *Measurer) MeasurePar(edges []Edge) (*ParResult, error) {
 		}
 	}
 
+	span := m.tracer.StartSpan(SpanPar, trace.Int(attrEdges, int64(len(edges))))
+	defer span.End()
+
+	ys := m.tracer.StartSpan(spanEstimateY)
 	y := m.resolveY()
+	ys.End()
+	span.SetAttr(trace.Int(attrY, int64(y)))
 	// Per-edge measurement transactions: txC_i (price Y), later replaced by
 	// txA_i on the source and txB_i on the sink, all on edge-private
 	// accounts (p1: "any two different transactions are sent from different
@@ -82,14 +89,19 @@ func (m *Measurer) MeasurePar(edges []Edge) (*ParResult, error) {
 	}
 
 	// p1: flood all txC through the network and wait X.
+	sc := m.tracer.StartSpan(spanSendTxC)
 	entries := m.entryNodes(sources, sinks)
 	for i, tx := range txC {
 		m.super.Inject(entries[i%len(entries)], tx)
 	}
+	sc.End()
+	wx := m.tracer.StartSpan(spanWaitX)
 	m.net.RunFor(m.params.X)
+	wx.End()
 
 	// Sink setup (paper's p3): Z futures evict the txCs, then the r-slot
 	// stream plants txB for own edges and re-plants txC for the others.
+	ss := m.tracer.StartSpan(spanSinkSetup, trace.Int(attrNodes, int64(len(sinks))))
 	sinkOrder := sortedIDs(sinks)
 	for _, b := range sinkOrder {
 		fut := m.mintFutures(m.zFor(b), m.params.PriceFuture(y))
@@ -107,8 +119,10 @@ func (m *Measurer) MeasurePar(edges []Edge) (*ParResult, error) {
 		m.interNodeWait()
 	}
 	m.runUntilDrained()
+	ss.End()
 
 	// Source setup (paper's p2): Z futures, other-edge txCs, own txAs.
+	sp := m.tracer.StartSpan(spanSourceSetup, trace.Int(attrNodes, int64(len(sources))))
 	checkFrom := m.net.Now()
 	srcOrder := sortedIDs(sources)
 	for _, a := range srcOrder {
@@ -128,19 +142,25 @@ func (m *Measurer) MeasurePar(edges []Edge) (*ParResult, error) {
 		m.interNodeWait()
 	}
 	m.runUntilDrained()
+	sp.End()
 
 	// p2's proceed-only-if check: verify each txA actually stuck on its
 	// source before trusting the iteration's negatives.
+	vs := m.tracer.StartSpan(spanVerifyRPC)
 	for i, e := range edges {
 		tx, err := m.net.Node(e.Source).RPC().GetTransactionByHash(txA[i].Hash())
 		if err != nil || tx == nil {
 			res.SetupFailed = append(res.SetupFailed, e)
+			m.tracer.Event(evSetupFailed,
+				trace.Int(attrNodeA, int64(e.Source)), trace.Int(attrNodeB, int64(e.Sink)))
 		}
 	}
+	vs.End()
 
 	// p4: wait for propagation, then look for txA_i arriving from sink_i —
 	// and from sink_i alone; a txA observed from anyone else has escaped
 	// isolation and is discarded (precision over recall).
+	dc := m.tracer.StartSpan(spanDecide)
 	m.net.RunFor(m.params.SettleTime)
 	for i, e := range edges {
 		if m.super.ObservedOnlyFrom(e.Sink, txA[i].Hash(), checkFrom) {
@@ -148,6 +168,9 @@ func (m *Measurer) MeasurePar(edges []Edge) (*ParResult, error) {
 			res.DetectedVia[norm(e.Source, e.Sink)] = txA[i].Hash()
 		}
 	}
+	dc.End()
+	span.SetAttr(trace.Int(attrDetected, int64(res.Detected.Len())))
+	span.SetAttr(trace.Int(attrFailed, int64(len(res.SetupFailed))))
 	res.Duration = m.net.Now() - start
 	m.metrics.rounds.Inc()
 	m.metrics.edgesMeasured.Add(int64(len(edges)))
@@ -254,6 +277,14 @@ func (m *Measurer) MeasureNetwork(nodes []types.NodeID, k, edgeBudget int) (*Sch
 	start := m.net.Now()
 	out := &ScheduleResult{Detected: NewEdgeSet(), DetectedVia: make(map[[2]types.NodeID]types.Hash)}
 
+	// The two-round schedule covers every pair exactly once; done/total pair
+	// counts on the campaign span feed the /progress ETA extrapolation.
+	totalPairs := len(nodes) * (len(nodes) - 1) / 2
+	span := m.tracer.StartSpan(SpanNetwork,
+		trace.Int(attrNodes, int64(len(nodes))), trace.Int(attrK, int64(k)),
+		trace.Int(trace.AttrTotal, int64(totalPairs)))
+	defer span.End()
+
 	// Batches are shaped to bound participants as well as edges: each
 	// participant costs a full mempool fill (Z futures) plus an r-slot
 	// stream, so a batch of r edges is cheapest when it touches about √r
@@ -289,6 +320,7 @@ func (m *Measurer) MeasureNetwork(nodes []types.NodeID, k, edgeBudget int) (*Sch
 				out.DetectedVia[k] = v
 			}
 			out.PairsMeasured += len(batch)
+			span.SetAttr(trace.Int(trace.AttrDone, int64(out.PairsMeasured)))
 		}
 		return nil
 	}
@@ -391,6 +423,10 @@ func minInt(a, b int) int {
 func (m *Measurer) MeasureAllPairsSerial(nodes []types.NodeID) (*ScheduleResult, error) {
 	start := m.net.Now()
 	out := &ScheduleResult{Detected: NewEdgeSet()}
+	totalPairs := len(nodes) * (len(nodes) - 1) / 2
+	span := m.tracer.StartSpan(SpanSerial,
+		trace.Int(attrNodes, int64(len(nodes))), trace.Int(trace.AttrTotal, int64(totalPairs)))
+	defer span.End()
 	for i := 0; i < len(nodes); i++ {
 		for j := i + 1; j < len(nodes); j++ {
 			ok, err := m.MeasureOneLink(nodes[i], nodes[j])
@@ -400,6 +436,7 @@ func (m *Measurer) MeasureAllPairsSerial(nodes []types.NodeID) (*ScheduleResult,
 			out.Calls++
 			out.Iterations++
 			out.PairsMeasured++
+			span.SetAttr(trace.Int(trace.AttrDone, int64(out.PairsMeasured)))
 			if ok {
 				out.Detected.Add(nodes[i], nodes[j])
 			}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"toposhot/internal/trace"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite trace golden files")
+
+// runGoldenMeasurement performs the fixed-seed three-node measurement the
+// trace goldens pin and returns the deterministic snapshot.
+func runGoldenMeasurement(t *testing.T) *trace.Trace {
+	t.Helper()
+	_, m, ids := buildRing(t, 3, 11)
+	tr := trace.New(trace.Options{Level: trace.LevelMeasure, Deterministic: true})
+	m.SetTracer(tr)
+	if _, err := m.MeasureOneLink(ids[0], ids[1]); err != nil {
+		t.Fatalf("measure: %v", err)
+	}
+	return tr.Snapshot()
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden (re-run with -update if intended)\ngot:\n%s\nwant:\n%s",
+			name, got, want)
+	}
+}
+
+// TestTraceGoldenChromeJSON pins the exact Chrome trace-event JSON a
+// fixed-seed three-node measurement produces. Any change to span structure,
+// attribute spelling, or export encoding shows up as a golden diff.
+func TestTraceGoldenChromeJSON(t *testing.T) {
+	var b bytes.Buffer
+	if err := runGoldenMeasurement(t).WriteChromeJSON(&b); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	checkGolden(t, "trace_three_node_chrome.golden", b.Bytes())
+}
+
+// TestTraceGoldenJSONL pins the JSONL export of the same measurement and
+// checks the file round-trips through ReadJSONL.
+func TestTraceGoldenJSONL(t *testing.T) {
+	var b bytes.Buffer
+	if err := runGoldenMeasurement(t).WriteJSONL(&b); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	checkGolden(t, "trace_three_node_jsonl.golden", b.Bytes())
+
+	rt, err := trace.ReadJSONL(bytes.NewReader(b.Bytes()))
+	if err != nil {
+		t.Fatalf("round trip read: %v", err)
+	}
+	var b2 bytes.Buffer
+	if err := rt.WriteJSONL(&b2); err != nil {
+		t.Fatalf("round trip write: %v", err)
+	}
+	if !bytes.Equal(b.Bytes(), b2.Bytes()) {
+		t.Error("JSONL round trip is not byte-stable")
+	}
+}
+
+// TestTraceSameSeedByteIdentical runs the whole measurement twice from
+// scratch and demands byte-identical deterministic traces — the library-
+// level form of the CI same-seed guarantee on cmd/toposhot.
+func TestTraceSameSeedByteIdentical(t *testing.T) {
+	var runs [2][]byte
+	for i := range runs {
+		var b bytes.Buffer
+		if err := runGoldenMeasurement(t).WriteJSONL(&b); err != nil {
+			t.Fatalf("export: %v", err)
+		}
+		runs[i] = b.Bytes()
+	}
+	if !bytes.Equal(runs[0], runs[1]) {
+		t.Error("same-seed runs produced different traces")
+	}
+}

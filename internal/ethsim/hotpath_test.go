@@ -3,6 +3,7 @@ package ethsim
 import (
 	"testing"
 
+	"toposhot/internal/trace"
 	"toposhot/internal/txpool"
 	"toposhot/internal/types"
 )
@@ -205,6 +206,57 @@ func BenchmarkGossipFlood(b *testing.B) {
 	b.StopTimer()
 	delivered := net.MsgCount["txs"] + net.MsgCount["announce"] + net.MsgCount["request"] - base
 	b.ReportMetric(float64(delivered)/float64(b.N), "msgs/op")
+}
+
+// benchFloodNet builds the BenchmarkGossipFlood topology with its arenas
+// warmed, so the trace on/off variants measure the identical workload.
+func benchFloodNet(seed int64) (*Network, []types.NodeID) {
+	net := testNet(seed)
+	ids := addNodes(net, 100, 1<<14)
+	for i := range ids {
+		_ = net.Connect(ids[i], ids[(i+1)%len(ids)])
+		_ = net.Connect(ids[i], ids[(i+7)%len(ids)])
+		_ = net.Connect(ids[i], ids[(i+29)%len(ids)])
+	}
+	net.StartJanitor(5)
+	for i := 0; i < 16; i++ {
+		tx := types.NewTransaction(types.AddressFromUint64(uint64(i+1)), types.AddressFromUint64(2), 0, types.Gwei, 0)
+		net.Node(ids[i%len(ids)]).SubmitLocal(tx)
+		net.RunFor(2)
+	}
+	return net, ids
+}
+
+func benchFlood(b *testing.B, net *Network, ids []types.NodeID) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := types.NewTransaction(types.AddressFromUint64(uint64(1000+i)), types.AddressFromUint64(2), 0, types.Gwei, 0)
+		net.Node(ids[i%len(ids)]).SubmitLocal(tx)
+		net.RunFor(2)
+	}
+}
+
+// BenchmarkGossipFloodTracedOff attaches a measure-level tracer, which
+// leaves engine events gated off: the flood hot path pays exactly one
+// pre-resolved bool branch per emission site. The delta against
+// BenchmarkGossipFlood is the cost of having tracing wired but quiet —
+// it must stay ~zero (and allocation-free) to protect the hot-path wins.
+func BenchmarkGossipFloodTracedOff(b *testing.B) {
+	net, ids := benchFloodNet(7)
+	net.SetTracer(trace.New(trace.Options{Level: trace.LevelMeasure}))
+	benchFlood(b, net, ids)
+}
+
+// BenchmarkGossipFloodTraced records engine events (msg-enqueue,
+// msg-deliver, evictions, replacement outcomes) into the ring buffer while
+// flooding; the delta against BenchmarkGossipFlood is the trace-on
+// overhead reported in the PR description.
+func BenchmarkGossipFloodTraced(b *testing.B) {
+	net, ids := benchFloodNet(7)
+	net.SetTracer(trace.New(trace.Options{Level: trace.LevelEngine, Deterministic: true}))
+	benchFlood(b, net, ids)
 }
 
 // BenchmarkGossipFloodLegacy floods the same topology under LegacyPushAll

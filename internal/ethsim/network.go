@@ -16,8 +16,29 @@ import (
 
 	"toposhot/internal/metrics"
 	"toposhot/internal/sim"
+	"toposhot/internal/trace"
 	"toposhot/internal/txpool"
 	"toposhot/internal/types"
+)
+
+// Engine-level trace event names (LevelEngine only): message lifecycle and
+// mempool displacement. The trace-spanname lint rule requires these to be
+// constants.
+const (
+	evMsgEnqueue    = "msg-enqueue"
+	evMsgDeliver    = "msg-deliver"
+	evEvict         = "evict"
+	evReplaceAccept = "replace-accept"
+	evReplaceReject = "replace-reject"
+)
+
+// Engine-event attribute keys.
+const (
+	attrKind = "kind"
+	attrFrom = "from"
+	attrTo   = "to"
+	attrNode = "node"
+	attrN    = "n"
 )
 
 // Config holds network-wide simulation parameters.
@@ -153,6 +174,12 @@ type Network struct {
 	metrics netMetrics
 	// poolMetrics, when set, aggregates every node mempool's counters.
 	poolMetrics *txpool.Metrics
+
+	// tracer records engine events when traceEngine is set; traceEngine is
+	// pre-resolved from the tracer's level so the gossip hot path pays one
+	// boolean branch when engine tracing is off.
+	tracer      *trace.Tracer
+	traceEngine bool
 }
 
 // netMetrics pre-resolves the simulator's instruments. Message counters are
@@ -200,9 +227,21 @@ func (n *Network) SetMetrics(r *metrics.Registry) {
 	}
 }
 
+// SetTracer wires the network's engine-event stream to a trace lane and
+// points the lane's clock at virtual time. Events are recorded only when the
+// tracer runs at LevelEngine; at lower levels the hook stays dormant (one
+// dead branch on the delivery path). Call with nil to detach.
+func (n *Network) SetTracer(t *trace.Tracer) {
+	n.tracer = t
+	n.traceEngine = t.Enabled(trace.LevelEngine)
+	if n.traceEngine {
+		t.SetClock(n.Now)
+	}
+}
+
 // NewNetwork returns an empty network running on a fresh engine. When a
 // process-default metrics registry is enabled (metrics.Enable), the network
-// auto-wires to it.
+// auto-wires to it; likewise for an enabled process-default tracer.
 func NewNetwork(cfg Config) *Network {
 	n := &Network{
 		cfg:          cfg,
@@ -213,6 +252,9 @@ func NewNetwork(cfg Config) *Network {
 	}
 	if r := metrics.Enabled(); r != nil {
 		n.SetMetrics(r)
+	}
+	if tr := trace.Enabled(); tr != nil {
+		n.SetTracer(tr)
 	}
 	return n
 }
@@ -359,6 +401,10 @@ func (n *Network) route(i int32) {
 	n.lastDelivery[link] = at
 	m.sent = sent
 	n.eng.AtHandler(at, n, uint64(i))
+	if n.traceEngine {
+		n.tracer.Event(evMsgEnqueue, trace.String(attrKind, m.kind.String()),
+			trace.Int(attrFrom, int64(m.from)), trace.Int(attrTo, int64(m.dst.id)))
+	}
 }
 
 // HandleEvent implements sim.Handler: it fires a pooled message — either
@@ -383,6 +429,11 @@ func (n *Network) HandleEvent(arg uint64) {
 		n.MsgCount[m.kind.String()]++
 		n.metrics.msgCounter(m.kind).Inc()
 		n.metrics.deliveryLatency.Observe(n.eng.Now() - m.sent) // effective one-hop delay
+		if n.traceEngine {
+			n.tracer.Event(evMsgDeliver, trace.String(attrKind, m.kind.String()),
+				trace.Int(attrFrom, int64(m.from)), trace.Int(attrTo, int64(m.dst.id)),
+				trace.Int(attrN, int64(len(m.txs)+len(m.hashes))))
+		}
 		switch m.kind {
 		case msgTxs:
 			m.dst.deliverTxs(m.from, m.txs)

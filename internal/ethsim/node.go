@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 
+	"toposhot/internal/trace"
 	"toposhot/internal/txpool"
 	"toposhot/internal/types"
 )
@@ -193,6 +194,9 @@ func (nd *Node) deliverTxs(from types.NodeID, txs []*types.Transaction) {
 		if nd.net.OnOffer != nil {
 			nd.net.OnOffer(nd.id, from, tx, res.Status.String())
 		}
+		if nd.net.traceEngine {
+			nd.traceOffer(res)
+		}
 		if nd.OnTxAdmitted != nil && res.Status.Admitted() {
 			nd.OnTxAdmitted(rcpt, res)
 		}
@@ -202,6 +206,22 @@ func (nd *Node) deliverTxs(from types.NodeID, txs []*types.Transaction) {
 		nd.propagate(from, out)
 	}
 	nd.scratchOut = out[:0] // keep the grown capacity for the next delivery
+}
+
+// traceOffer records mempool displacement events (LevelEngine): evictions
+// that made room for the offered transaction, and replacement accept/reject.
+// Out of line so the traced-off delivery loop stays branch-only.
+func (nd *Node) traceOffer(res txpool.Result) {
+	if len(res.Evicted) > 0 {
+		nd.net.tracer.Event(evEvict,
+			trace.Int(attrNode, int64(nd.id)), trace.Int(attrN, int64(len(res.Evicted))))
+	}
+	switch res.Status {
+	case txpool.StatusReplaced:
+		nd.net.tracer.Event(evReplaceAccept, trace.Int(attrNode, int64(nd.id)))
+	case txpool.StatusUnderpriced:
+		nd.net.tracer.Event(evReplaceReject, trace.Int(attrNode, int64(nd.id)))
+	}
 }
 
 // appendPropagatable appends what an admission makes eligible for gossip.

@@ -162,29 +162,82 @@ func (s *Supernode) Observed(h types.Hash, t float64) bool {
 	return false
 }
 
+// Verdict classifies one Step-4 observation: whether the proving txA
+// reached M exclusively through the sink, and if not, what went wrong.
+type Verdict uint8
+
+const (
+	// VerdictTimeout: txA never reached M from anyone — the replacement was
+	// not observed within the settle window.
+	VerdictTimeout Verdict = iota
+	// VerdictDetected: txA arrived from the sink and from no one else — the
+	// sound detection that proves the link.
+	VerdictDetected
+	// VerdictIsolationViolated: txA arrived from the sink but another peer
+	// delivered or advertised it too — isolation broke, so the observation is
+	// discarded (the conservative filter that keeps precision at 100%).
+	VerdictIsolationViolated
+	// VerdictReplacedElsewhere: txA reached M only through peers other than
+	// the sink — the replacement propagated along some other path.
+	VerdictReplacedElsewhere
+)
+
+// Detected reports whether the verdict counts as a sound link detection.
+func (v Verdict) Detected() bool { return v == VerdictDetected }
+
+// String renders the verdict as its trace-attribute spelling.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictDetected:
+		return "detected"
+	case VerdictIsolationViolated:
+		return "isolation-violated"
+	case VerdictReplacedElsewhere:
+		return "replaced-elsewhere"
+	}
+	return "timeout"
+}
+
+// VerdictFor classifies the receipts for h since t against the expected sink
+// peer — the Step-4 decision with its failure reason preserved. Announcements
+// from other peers count as evidence of possession, exactly as in
+// ObservedOnlyFrom.
+func (s *Supernode) VerdictFor(peer types.NodeID, h types.Hash, t float64) Verdict {
+	fromSink, fromOthers := false, false
+	for _, r := range s.byHash[h] {
+		if r.At < t {
+			continue
+		}
+		if r.From == peer {
+			fromSink = true
+		} else {
+			fromOthers = true
+		}
+	}
+	for _, r := range s.announced[h] {
+		if r.At >= t && r.From != peer {
+			fromOthers = true
+		}
+	}
+	switch {
+	case fromSink && !fromOthers:
+		return VerdictDetected
+	case fromSink:
+		return VerdictIsolationViolated
+	case fromOthers:
+		return VerdictReplacedElsewhere
+	}
+	return VerdictTimeout
+}
+
 // ObservedOnlyFrom reports whether the supernode received h since t from
 // the given peer and from no one else — counting announcements as evidence
 // of possession too. In a sound TopoShot measurement the proving txA
 // reaches M exclusively through the sink; any other peer delivering or
 // advertising it means isolation broke and the observation must be
-// discarded (the conservative filter that keeps precision at 100%).
+// discarded. VerdictFor exposes the full classification.
 func (s *Supernode) ObservedOnlyFrom(peer types.NodeID, h types.Hash, t float64) bool {
-	seen := false
-	for _, r := range s.byHash[h] {
-		if r.At < t {
-			continue
-		}
-		if r.From != peer {
-			return false
-		}
-		seen = true
-	}
-	for _, r := range s.announced[h] {
-		if r.At >= t && r.From != peer {
-			return false
-		}
-	}
-	return seen
+	return s.VerdictFor(peer, h, t).Detected()
 }
 
 // PossessedBy reports whether peer delivered or announced h at/after t —

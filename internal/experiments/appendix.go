@@ -10,6 +10,7 @@ import (
 	"toposhot/internal/ethsim"
 	"toposhot/internal/netgen"
 	"toposhot/internal/runner"
+	"toposhot/internal/trace"
 	"toposhot/internal/txpool"
 	"toposhot/internal/types"
 )
@@ -25,7 +26,7 @@ type AppAResult struct {
 // everywhere and floods, so TxProbe claims links that do not exist, while
 // TopoShot's replacement-based isolation holds.
 func AppA(seed int64) (*AppAResult, error) {
-	v := buildValidationNet(seed, 60, netgen.Uniform(), 10)
+	v := buildValidationNet(seed, 60, netgen.Uniform(), 10, nil)
 	probe := baseline.NewTxProbe(v.net, v.super)
 	truth := core.EdgeSetOf(v.net.Edges())
 	rng := v.net.Engine().Rand()
@@ -184,7 +185,7 @@ type W2Result struct {
 // graph against the active topology — quantifying why W2-class methods
 // cannot recover what TopoShot measures.
 func W2Crawl(seed int64) *W2Result {
-	v := buildValidationNet(seed, 150, netgen.Uniform(), 10)
+	v := buildValidationNet(seed, 150, netgen.Uniform(), 10, nil)
 	rep := baseline.CrawlInactive(v.net, 4, seed)
 	return &W2Result{Report: rep}
 }
@@ -214,8 +215,8 @@ type AblationRow struct {
 // are independent simulations and run via the runner pool in fixed order.
 func Ablations(seed int64) []AblationRow {
 	// 1. Push-all vs push+announce propagation.
-	propagation := func(name string, het netgen.Heterogeneity) AblationRow {
-		v := buildValidationNet(seed, 80, het, 20)
+	propagation := func(lane *trace.Tracer, name string, het netgen.Heterogeneity) AblationRow {
+		v := buildValidationNet(seed, 80, het, 20, lane)
 		targets := v.measurableNeighbors()
 		truth := core.EdgeSetOf(v.net.Edges())
 		measured := core.NewEdgeSet()
@@ -237,8 +238,8 @@ func Ablations(seed int64) []AblationRow {
 
 	// 2. X too small vs calibrated: a short flood wait leaves txC missing
 	// on distant nodes, breaking isolation (false positives appear).
-	floodWait := func(x float64) AblationRow {
-		v := buildValidationNet(seed+7, 120, netgen.Uniform(), 0)
+	floodWait := func(lane *trace.Tracer, x float64) AblationRow {
+		v := buildValidationNet(seed+7, 120, netgen.Uniform(), 0, lane)
 		params := v.m.Params()
 		params.X = x
 		v.m.SetParams(params)
@@ -266,10 +267,10 @@ func Ablations(seed int64) []AblationRow {
 	}
 
 	// 3. Pre-processing off vs on over a future-forwarding population.
-	preprocessing := func(pre bool) AblationRow {
+	preprocessing := func(lane *trace.Tracer, pre bool) AblationRow {
 		het := netgen.Uniform()
 		het.ForwardFuturesFraction = 0.15
-		v := buildValidationNet(seed+13, 100, het, 25)
+		v := buildValidationNet(seed+13, 100, het, 25, lane)
 		targets := v.neighbors
 		note := "pre-processing off"
 		if pre {
@@ -297,15 +298,20 @@ func Ablations(seed int64) []AblationRow {
 
 	pushAll := netgen.Uniform()
 	pushAll.LegacyPushFraction = 1.0
-	jobs := []func() AblationRow{
-		func() AblationRow { return propagation("push+announce (default)", netgen.Uniform()) },
-		func() AblationRow { return propagation("legacy push-all", pushAll) },
-		func() AblationRow { return floodWait(0.2) },
-		func() AblationRow { return floodWait(10) },
-		func() AblationRow { return preprocessing(false) },
-		func() AblationRow { return preprocessing(true) },
+	jobs := []func(lane *trace.Tracer) AblationRow{
+		func(l *trace.Tracer) AblationRow { return propagation(l, "push+announce (default)", netgen.Uniform()) },
+		func(l *trace.Tracer) AblationRow { return propagation(l, "legacy push-all", pushAll) },
+		func(l *trace.Tracer) AblationRow { return floodWait(l, 0.2) },
+		func(l *trace.Tracer) AblationRow { return floodWait(l, 10) },
+		func(l *trace.Tracer) AblationRow { return preprocessing(l, false) },
+		func(l *trace.Tracer) AblationRow { return preprocessing(l, true) },
 	}
-	return runner.Map(len(jobs), func(i int) AblationRow { return jobs[i]() })
+	lanes := sweepLanes("ablation", len(jobs))
+	return runner.MapWorker(0, len(jobs), func(w, i int) AblationRow {
+		sp := rowSpan(lanes[i], i, w, int64(i))
+		defer sp.End()
+		return jobs[i](lanes[i])
+	})
 }
 
 // FormatAblations renders the ablation rows.

@@ -15,6 +15,7 @@ import (
 	"toposhot/internal/graph"
 	"toposhot/internal/netgen"
 	"toposhot/internal/runner"
+	"toposhot/internal/trace"
 	"toposhot/internal/txpool"
 	"toposhot/internal/types"
 )
@@ -94,6 +95,15 @@ type Census struct {
 // RunCensus builds the testnet, pre-processes, measures every pair with the
 // parallel schedule, and scores the result.
 func RunCensus(cfg CensusConfig) (*Census, error) {
+	// Each census records on its own lane so concurrent campaigns
+	// (PrewarmCensuses) never share a clock or interleave records.
+	tr := trace.Enabled().Lane("census:"+censusKey(cfg), nil)
+	span := tr.StartSpan(spanCensus,
+		trace.String(attrName, cfg.Name), trace.Int(attrSeed, cfg.Seed),
+		trace.Int(attrNodes, int64(cfg.Grow.N)), trace.Int(attrK, int64(cfg.GroupK)))
+	defer span.End()
+
+	bs := tr.StartSpan(spanCensusBuild)
 	g := netgen.Grow(cfg.Grow)
 
 	// Census latency profile: well-connected public nodes with a modest
@@ -102,6 +112,8 @@ func RunCensus(cfg CensusConfig) (*Census, error) {
 	netCfg.LatencyTail = 0.05
 	netCfg.LatencyMax = 1.0
 	net := ethsim.NewNetwork(netCfg)
+	net.SetTracer(tr)
+	tr.SetClock(net.Now)
 	het := cfg.Het
 	het.Expiry = censusExpiry
 	inst := netgen.InstantiateScaled(net, g, het, cfg.Seed, cfg.PoolScale)
@@ -114,18 +126,24 @@ func RunCensus(cfg CensusConfig) (*Census, error) {
 	// leftovers age out of the pools the way Geth drops 3-hour-old
 	// unconfirmed transactions. Scaled with the pools.
 	net.StartJanitor(30)
+	bs.End()
 
+	ps := tr.StartSpan(spanCensusPrefill)
 	w := ethsim.NewWorkload(net, censusBackgroundRate, types.Gwei/10, 2*types.Gwei)
 	w.Prefill(cfg.Prefill, 5)
 	w.Start(0)
+	ps.End()
 
 	params := core.DefaultParams()
 	params.Z = int(float64(txpool.Geth.Capacity) * cfg.PoolScale)
 	params.SettleTime = 6
 	m := core.NewMeasurer(net, super, params)
+	m.SetTracer(tr)
 
+	pp := tr.StartSpan(spanPreprocess)
 	pre := m.Preprocess(inst.IDs)
 	targets := pre.EligibleNodes(inst.IDs)
+	pp.End()
 
 	res, err := m.MeasureNetwork(targets, cfg.GroupK, cfg.EdgeBudget)
 	if err != nil {
@@ -135,6 +153,8 @@ func RunCensus(cfg CensusConfig) (*Census, error) {
 
 	// Score over eligible nodes only (excluded nodes are out of scope, as
 	// in the paper's validation).
+	sc := tr.StartSpan(spanCensusScore)
+	defer sc.End()
 	truthSet := core.EdgeSetOf(net.Edges())
 	eligible := make(map[types.NodeID]bool, len(targets))
 	for _, id := range targets {

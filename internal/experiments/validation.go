@@ -8,6 +8,7 @@ import (
 	"toposhot/internal/ethsim"
 	"toposhot/internal/netgen"
 	"toposhot/internal/runner"
+	"toposhot/internal/trace"
 	"toposhot/internal/txpool"
 	"toposhot/internal/types"
 )
@@ -28,18 +29,23 @@ type validationNet struct {
 // scaledZ is the default future count for 1/10-scale pools.
 const scaledZ = 512
 
-func buildValidationNet(seed int64, n int, het netgen.Heterogeneity, bPrimePeers int) *validationNet {
+func buildValidationNet(seed int64, n int, het netgen.Heterogeneity, bPrimePeers int, lane *trace.Tracer) *validationNet {
 	netCfg := ethsim.DefaultConfig(seed)
 	netCfg.LatencyTail = 0.05
 	netCfg.LatencyMax = 1.0
-	return buildValidationNetCfg(netCfg, seed, n, het, bPrimePeers)
+	return buildValidationNetCfg(netCfg, seed, n, het, bPrimePeers, lane)
 }
 
 // buildValidationNetCfg is buildValidationNet with an explicit network
-// latency profile.
-func buildValidationNetCfg(netCfg ethsim.Config, seed int64, n int, het netgen.Heterogeneity, bPrimePeers int) *validationNet {
+// latency profile. lane, when non-nil, is the sweep row's trace lane; the
+// network and measurer bind to it instead of the process-default tracer's
+// root lane, so parallel rows record onto disjoint, deterministic tracks.
+func buildValidationNetCfg(netCfg ethsim.Config, seed int64, n int, het netgen.Heterogeneity, bPrimePeers int, lane *trace.Tracer) *validationNet {
 	g := netgen.Grow(netgen.RopstenConfig.WithSeed(seed).WithN(n))
 	net := ethsim.NewNetwork(netCfg)
+	if lane != nil {
+		net.SetTracer(lane)
+	}
 	het.Expiry = censusExpiry
 	inst := netgen.InstantiateScaled(net, g, het, seed, 0.1)
 
@@ -70,6 +76,9 @@ func buildValidationNetCfg(netCfg ethsim.Config, seed int64, n int, het netgen.H
 	params := core.DefaultParams()
 	params.Z = scaledZ
 	m := core.NewMeasurer(net, super, params)
+	if lane != nil {
+		m.SetTracer(lane)
+	}
 	return &validationNet{
 		net: net, super: super, m: m, bPrime: bp,
 		neighbors: bp.Peers(), inst: inst,
@@ -97,7 +106,7 @@ func (v *validationNet) measurableNeighbors() []types.NodeID {
 // loses its late sources — their accounts' nonces are consumed on-chain and
 // the txA plants go stale. That is the interference that caps Figure 4b's
 // recall for large groups, while precision is untouched.
-func buildValidationNet4b(seed int64, n, bPrimePeers int) *validationNet {
+func buildValidationNet4b(seed int64, n, bPrimePeers int, lane *trace.Tracer) *validationNet {
 	netCfg := ethsim.DefaultConfig(seed)
 	// Public-internet profile: heavier straggler tail plus congestion
 	// spikes. Straggling deliveries from one node's setup landing inside a
@@ -106,7 +115,7 @@ func buildValidationNet4b(seed int64, n, bPrimePeers int) *validationNet {
 	netCfg.LatencyMax = 3.0
 	netCfg.SpikeProb = 0.30
 	netCfg.SpikeMax = 5.0
-	return buildValidationNetCfg(netCfg, seed, n, netgen.Uniform(), bPrimePeers)
+	return buildValidationNetCfg(netCfg, seed, n, netgen.Uniform(), bPrimePeers, lane)
 }
 
 // Fig4aRow is one point of the recall-vs-futures curve.
@@ -134,8 +143,11 @@ func Fig4a(seed int64) []Fig4aRow {
 		NoForwardFraction:   0.03,
 	}
 	zs := []int{512, 576, 640, 704, 768, 832, 896, 960}
-	return runner.Map(len(zs), func(i int) Fig4aRow {
-		v := buildValidationNet(seed, 150, het, 60)
+	lanes := sweepLanes("fig4a", len(zs))
+	return runner.MapWorker(0, len(zs), func(w, i int) Fig4aRow {
+		v := buildValidationNet(seed, 150, het, 60, lanes[i])
+		sp := rowSpan(lanes[i], i, w, int64(zs[i]))
+		defer sp.End()
 		targets := v.measurableNeighbors()
 		p := v.m.Params()
 		p.Z = zs[i]
@@ -191,9 +203,12 @@ func Fig4b(seed int64) []Fig4bRow {
 	const pacingWindow = 38.0
 
 	ps := []int{1, 5, 10, 20, 29, 40, 60, 80, 99}
-	return runner.Map(len(ps), func(i int) Fig4bRow {
+	lanes := sweepLanes("fig4b", len(ps))
+	return runner.MapWorker(0, len(ps), func(w, i int) Fig4bRow {
 		p := ps[i]
-		v := buildValidationNet4b(seed, 170, 40)
+		v := buildValidationNet4b(seed, 170, 40, lanes[i])
+		sp := rowSpan(lanes[i], i, w, int64(p))
+		defer sp.End()
 		targets := v.measurableNeighbors()
 		truth := core.EdgeSetOf(v.net.Edges())
 
@@ -286,9 +301,12 @@ func Fig5(seed int64) []Fig5Row {
 		detected int
 		ok       bool
 	}
-	res := runner.Map(len(ks), func(i int) measured {
+	lanes := sweepLanes("fig5", len(ks))
+	res := runner.MapWorker(0, len(ks), func(w, i int) measured {
 		k := ks[i]
-		v := buildValidationNet(seed+int64(k), groupN+40, netgen.Uniform(), 10)
+		v := buildValidationNet(seed+int64(k), groupN+40, netgen.Uniform(), 10, lanes[i])
+		sp := rowSpan(lanes[i], i, w, int64(k))
+		defer sp.End()
 		nodes := v.inst.IDs[:groupN]
 		if k == 1 {
 			r, err := v.m.MeasureAllPairsSerial(nodes)
@@ -349,13 +367,16 @@ func Fig7(seed int64) []Fig7Row {
 	pendings := []int{1, 1000, 2000, 3000}
 	// Every cell derives its trial seeds from (L, pending, rep) alone, so
 	// the 16 cells are independent jobs for the pool.
-	return runner.Map(len(Ls)*len(pendings), func(idx int) Fig7Row {
+	lanes := sweepLanes("fig7", len(Ls)*len(pendings))
+	return runner.MapWorker(0, len(Ls)*len(pendings), func(w, idx int) Fig7Row {
 		L := Ls[idx/len(pendings)]
 		pending := pendings[idx%len(pendings)]
+		sp := rowSpan(lanes[idx], idx, w, int64(L))
+		defer sp.End()
 		detected := 0
 		const reps = 3
 		for rep := 0; rep < reps; rep++ {
-			if fig7Once(seed+int64(1000*L+pending+rep), L, pending) {
+			if fig7Once(seed+int64(1000*L+pending+rep), L, pending, lanes[idx]) {
 				detected++
 			}
 		}
@@ -364,11 +385,14 @@ func Fig7(seed int64) []Fig7Row {
 }
 
 // fig7Once runs one local trial: were A(B) measurable at this pool size?
-func fig7Once(seed int64, capacity, pending int) bool {
+func fig7Once(seed int64, capacity, pending int, lane *trace.Tracer) bool {
 	netCfg := ethsim.DefaultConfig(seed)
 	netCfg.LatencyTail = 0.02
 	netCfg.LatencyMax = 0.5
 	net := ethsim.NewNetwork(netCfg)
+	if lane != nil {
+		net.SetTracer(lane)
+	}
 	polA := txpool.Geth.WithCapacity(capacity)
 	polB := txpool.Geth
 	a := net.AddNode(ethsim.NodeConfig{Policy: polA, MaxPeers: 16})
@@ -386,6 +410,9 @@ func fig7Once(seed int64, capacity, pending int) bool {
 	params.SettleTime = 4
 	params.Y = types.Gwei / 2 // below every txO
 	m := core.NewMeasurer(net, super, params)
+	if lane != nil {
+		m.SetTracer(lane)
+	}
 	ok, err := m.MeasureOneLink(a.ID(), b.ID())
 	return err == nil && ok
 }
@@ -430,14 +457,20 @@ func Table8(seed int64, reps int) []Table8Row {
 	}
 	// Each configuration seeds its trials from (ci, rep), so the six
 	// configurations run as independent pool jobs.
-	return runner.Map(len(cfgs), func(ci int) Table8Row {
+	lanes := sweepLanes("table8", len(cfgs))
+	return runner.MapWorker(0, len(cfgs), func(w, ci int) Table8Row {
 		c := cfgs[ci]
+		sp := rowSpan(lanes[ci], ci, w, int64(ci))
+		defer sp.End()
 		var tp, fp, fn int
 		for rep := 0; rep < reps; rep++ {
 			netCfg := ethsim.DefaultConfig(seed + int64(100*ci+rep))
 			netCfg.LatencyTail = 0.02
 			netCfg.LatencyMax = 0.5
 			net := ethsim.NewNetwork(netCfg)
+			if lanes[ci] != nil {
+				net.SetTracer(lanes[ci])
+			}
 			pol := txpool.Geth.WithCapacity(scaledZ)
 			var ids []types.NodeID
 			for i := 0; i < 3; i++ {
@@ -454,6 +487,9 @@ func Table8(seed int64, reps int) []Table8Row {
 			params.Z = scaledZ
 			params.SettleTime = 4
 			m := core.NewMeasurer(net, super, params)
+			if lanes[ci] != nil {
+				m.SetTracer(lanes[ci])
+			}
 			// Parallel: sources A1, A2; sink B.
 			res, err := m.MeasurePar([]core.Edge{
 				{Source: ids[0], Sink: ids[2]},

@@ -71,6 +71,8 @@ func Analyzers() []*Analyzer {
 		analyzerErrcheckWire,
 		analyzerBigintAlias,
 		analyzerMetricsNilsafe,
+		analyzerTraceNilsafe,
+		analyzerTraceSpanname,
 	}
 }
 

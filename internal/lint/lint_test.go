@@ -75,6 +75,10 @@ func TestMetricsNilsafeGolden(t *testing.T) {
 
 // TestIgnoreDirectives covers suppression (line-above and trailing), the
 // unknown-rule directive error, and the missing-reason directive error.
+func TestTraceLintGolden(t *testing.T) {
+	golden(t, "tracenilsafe", checkFixture(t, "tracenilsafe", "toposhot/internal/experiments/tracefixture"))
+}
+
 func TestIgnoreDirectives(t *testing.T) {
 	got := checkFixture(t, "ignore", "toposhot/internal/sim/fixture")
 	golden(t, "ignore", got)

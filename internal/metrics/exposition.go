@@ -1,0 +1,95 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromContentType is the Prometheus text exposition format version this
+// package writes, suitable for an HTTP Content-Type header.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promName maps an internal dotted instrument name ("node.frames.in") to a
+// legal Prometheus metric name ("toposhot_node_frames_in"). Prometheus
+// names match [a-zA-Z_:][a-zA-Z0-9_:]*; every other rune becomes '_'.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len("toposhot_") + len(name))
+	b.WriteString("toposhot_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a float the way Prometheus expects (+Inf spelled out,
+// no exponent surprises for integral values).
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteProm renders the snapshot in the Prometheus text exposition format
+// (version 0.0.4). Counters and gauges map directly; each histogram becomes
+// the conventional _bucket/_sum/_count triplet with cumulative le= buckets.
+// Output is sorted by metric name, so two identical snapshots render
+// byte-identically.
+func (s Snapshot) WriteProm(w io.Writer) error {
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+			return err
+		}
+		cum := int64(0)
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, promFloat(bound), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", pn, promFloat(h.Sum), pn, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

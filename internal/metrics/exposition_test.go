@@ -1,0 +1,178 @@
+package metrics
+
+import (
+	"bufio"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parseProm is a minimal Prometheus text-format (0.0.4) reader, just enough
+// to round-trip what WriteProm emits: TYPE comments, bare samples, and
+// histogram _bucket/_sum/_count triplets.
+type promMetrics struct {
+	types    map[string]string
+	counters map[string]int64
+	gauges   map[string]int64
+	buckets  map[string]map[float64]int64 // cumulative, by le bound
+	sums     map[string]float64
+	counts   map[string]int64
+}
+
+func parseProm(t *testing.T, text string) promMetrics {
+	t.Helper()
+	p := promMetrics{
+		types:    map[string]string{},
+		counters: map[string]int64{},
+		gauges:   map[string]int64{},
+		buckets:  map[string]map[float64]int64{},
+		sums:     map[string]float64{},
+		counts:   map[string]int64{},
+	}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			p.types[f[2]] = f[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		key, val := line[:sp], line[sp+1:]
+		if i := strings.Index(key, "_bucket{le=\""); i >= 0 {
+			base := key[:i]
+			leStr := strings.TrimSuffix(key[i+len("_bucket{le=\""):], "\"}")
+			le := math.Inf(1)
+			if leStr != "+Inf" {
+				var err error
+				if le, err = strconv.ParseFloat(leStr, 64); err != nil {
+					t.Fatalf("bad le %q: %v", leStr, err)
+				}
+			}
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				t.Fatalf("bad bucket count %q: %v", val, err)
+			}
+			if p.buckets[base] == nil {
+				p.buckets[base] = map[float64]int64{}
+			}
+			p.buckets[base][le] = n
+			continue
+		}
+		if base, ok := strings.CutSuffix(key, "_sum"); ok && p.types[base] == "histogram" {
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				t.Fatalf("bad sum %q: %v", val, err)
+			}
+			p.sums[base] = f
+			continue
+		}
+		if base, ok := strings.CutSuffix(key, "_count"); ok && p.types[base] == "histogram" {
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				t.Fatalf("bad count %q: %v", val, err)
+			}
+			p.counts[base] = n
+			continue
+		}
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			t.Fatalf("bad value %q: %v", val, err)
+		}
+		switch p.types[key] {
+		case "counter":
+			p.counters[key] = n
+		case "gauge":
+			p.gauges[key] = n
+		default:
+			t.Fatalf("sample %q has no TYPE", key)
+		}
+	}
+	return p
+}
+
+// TestPromRoundTrip writes a populated registry in the exposition format and
+// parses it back, checking every instrument survives with its exact value.
+func TestPromRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("node.frames.in").Add(42)
+	r.Counter("txpool.evictions").Add(7)
+	r.Gauge("txpool.size").Set(512)
+	h := r.Histogram("measure.latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+
+	snap := r.Snapshot()
+	var b strings.Builder
+	if err := snap.WriteProm(&b); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	p := parseProm(t, b.String())
+
+	if got := p.counters["toposhot_node_frames_in"]; got != 42 {
+		t.Errorf("frames.in = %d, want 42", got)
+	}
+	if got := p.counters["toposhot_txpool_evictions"]; got != 7 {
+		t.Errorf("evictions = %d, want 7", got)
+	}
+	if got := p.gauges["toposhot_txpool_size"]; got != 512 {
+		t.Errorf("txpool.size = %d, want 512", got)
+	}
+
+	const hn = "toposhot_measure_latency"
+	if p.types[hn] != "histogram" {
+		t.Fatalf("latency TYPE = %q, want histogram", p.types[hn])
+	}
+	hs := snap.Histograms["measure.latency"]
+	cum := int64(0)
+	for i, bound := range hs.Bounds {
+		cum += hs.Counts[i]
+		if got := p.buckets[hn][bound]; got != cum {
+			t.Errorf("bucket le=%g: %d, want %d", bound, got, cum)
+		}
+	}
+	if got := p.buckets[hn][math.Inf(1)]; got != hs.Count {
+		t.Errorf("+Inf bucket = %d, want %d", got, hs.Count)
+	}
+	if p.sums[hn] != hs.Sum || p.counts[hn] != hs.Count {
+		t.Errorf("sum/count = %g/%d, want %g/%d", p.sums[hn], p.counts[hn], hs.Sum, hs.Count)
+	}
+
+	// Two renders of the same snapshot must be byte-identical (sorted
+	// output), so scrapes diff cleanly.
+	var b2 strings.Builder
+	if err := snap.WriteProm(&b2); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	if b.String() != b2.String() {
+		t.Error("WriteProm output is not deterministic")
+	}
+}
+
+// TestPromNameSanitization pins the dotted→underscore mapping.
+func TestPromNameSanitization(t *testing.T) {
+	cases := map[string]string{
+		"node.frames.in": "toposhot_node_frames_in",
+		"weird-name/x":   "toposhot_weird_name_x",
+		"ok_under:score": "toposhot_ok_under:score",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"toposhot/internal/metrics"
+	"toposhot/internal/trace"
 	"toposhot/internal/txpool"
 	"toposhot/internal/types"
 	"toposhot/internal/wire"
@@ -65,6 +66,17 @@ type Config struct {
 	Metrics *metrics.Registry
 }
 
+// Trace event names for the live node (the trace-spanname lint rule keeps
+// these constants).
+const (
+	evPeerConnect    = "peer-connect"
+	evPeerDisconnect = "peer-disconnect"
+	evReplaceAccept  = "replace-accept"
+	evReplaceReject  = "replace-reject"
+)
+
+const attrAddr = "addr"
+
 // Node is a live TCP peer.
 type Node struct {
 	cfg Config
@@ -80,6 +92,11 @@ type Node struct {
 	wg sync.WaitGroup
 
 	metrics nodeMetrics
+
+	// tracer records peer-lifecycle events (and, at LevelEngine,
+	// replacement outcomes) on the process-default tracer. Nil no-ops.
+	tracer      *trace.Tracer
+	traceEngine bool
 
 	// OnTx, when set, fires for every transaction received from a peer
 	// (admitted or not), with the peer's remote address.
@@ -218,7 +235,9 @@ func Start(cfg Config, addr string) (*Node, error) {
 		announceLock: make(map[types.Hash]time.Time),
 		rng:          rand.New(rand.NewSource(seed)),
 		metrics:      newNodeMetrics(cfg.Metrics),
+		tracer:       trace.Enabled(),
 	}
+	n.traceEngine = n.tracer.Enabled(trace.LevelEngine)
 	if cfg.Metrics != nil {
 		n.pool.SetMetrics(txpool.NewMetrics(cfg.Metrics))
 	}
@@ -336,6 +355,7 @@ func (n *Node) setupPeer(conn net.Conn, initiator bool) error {
 	n.peers[p.addr] = p
 	n.mu.Unlock()
 	n.metrics.peersConnected.Inc()
+	n.tracer.Event(evPeerConnect, trace.String(attrAddr, p.addr))
 
 	n.wg.Add(1)
 	go n.readLoop(p)
@@ -348,11 +368,16 @@ func (n *Node) setupPeer(conn net.Conn, initiator bool) error {
 // is never clobbered (the map entry is removed only if it is this peer).
 func (n *Node) dropPeer(p *peer) {
 	n.mu.Lock()
+	dropped := false
 	if cur, ok := n.peers[p.addr]; ok && cur == p {
 		delete(n.peers, p.addr)
 		n.metrics.peersDisconnected.Inc()
+		dropped = true
 	}
 	n.mu.Unlock()
+	if dropped {
+		n.tracer.Event(evPeerDisconnect, trace.String(attrAddr, p.addr))
+	}
 	p.close()
 }
 
@@ -412,6 +437,7 @@ func (n *Node) readLoop(p *peer) {
 
 func (n *Node) handleTxs(p *peer, txs []*types.Transaction) {
 	var out []*types.Transaction
+	var accepted, rejected int64
 	n.mu.Lock()
 	for _, tx := range txs {
 		res := n.pool.Offer(tx)
@@ -419,14 +445,25 @@ func (n *Node) handleTxs(p *peer, txs []*types.Transaction) {
 		case txpool.StatusPending:
 			out = append(out, tx)
 		case txpool.StatusReplaced:
+			accepted++
 			if n.pool.IsPending(tx.Hash()) {
 				out = append(out, tx)
 			}
+		case txpool.StatusUnderpriced:
+			rejected++
 		}
 		out = append(out, res.Promoted...)
 	}
 	onTx := n.OnTx
 	n.mu.Unlock()
+	if n.traceEngine {
+		if accepted > 0 {
+			n.tracer.Event(evReplaceAccept, trace.String(attrAddr, p.addr), trace.Int("n", accepted))
+		}
+		if rejected > 0 {
+			n.tracer.Event(evReplaceReject, trace.String(attrAddr, p.addr), trace.Int("n", rejected))
+		}
+	}
 	if onTx != nil {
 		for _, tx := range txs {
 			onTx(p.addr, p.version, tx)

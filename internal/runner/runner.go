@@ -49,6 +49,14 @@ func Map[T any](n int, fn func(i int) T) []T {
 // With parallel == 1 the jobs run serially on the calling goroutine, which is
 // the reference behaviour the parallel path must reproduce byte-identically.
 func MapN[T any](parallel, n int, fn func(i int) T) []T {
+	return MapWorker(parallel, n, func(_, i int) T { return fn(i) })
+}
+
+// MapWorker is MapN exposing each job's worker slot (0..parallel-1) — purely
+// observational (trace lane attribution, per-worker scratch); results must
+// not depend on it, since the worker→job assignment varies with scheduling.
+// The serial path runs everything as worker 0.
+func MapWorker[T any](parallel, n int, fn func(worker, i int) T) []T {
 	if n <= 0 {
 		return nil
 	}
@@ -61,7 +69,7 @@ func MapN[T any](parallel, n int, fn func(i int) T) []T {
 	out := make([]T, n)
 	if parallel == 1 {
 		for i := range out {
-			out[i] = fn(i)
+			out[i] = fn(0, i)
 		}
 		return out
 	}
@@ -85,7 +93,7 @@ func MapN[T any](parallel, n int, fn func(i int) T) []T {
 				if i >= n {
 					return
 				}
-				out[i] = fn(i)
+				out[i] = fn(w, i)
 			}
 		}(w)
 	}

@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Trace is an exportable snapshot of a tracer's sink.
+type Trace struct {
+	// Deterministic records whether wall-clock capture was suppressed; the
+	// exporters omit wall fields either way when they are zero.
+	Deterministic bool
+	Lanes         []LaneSnapshot
+}
+
+// LaneSnapshot is one lane's records, sorted by sequence number.
+type LaneSnapshot struct {
+	ID   int
+	Name string
+	// Dropped counts records lost to ring wrap (flight-recorder semantics).
+	Dropped uint64
+	// Now is the lane clock's value at snapshot time.
+	Now     float64
+	Records []Record
+}
+
+func sortRecords(rs []Record) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Seq < rs[j].Seq })
+}
+
+func sortLanes(ls []LaneSnapshot) {
+	sort.Slice(ls, func(i, j int) bool { return ls[i].ID < ls[j].ID })
+}
+
+// chromeEvent is one entry of the Chrome trace-event format, the JSON
+// Perfetto and chrome://tracing load directly. Virtual seconds map to the
+// format's microseconds, so one simulated second reads as one second in the
+// UI.
+type chromeEvent struct {
+	Name string                 `json:"name"`
+	Ph   string                 `json:"ph"`
+	Ts   float64                `json:"ts"`
+	Dur  float64                `json:"dur"`
+	Pid  int                    `json:"pid"`
+	Tid  int                    `json:"tid"`
+	S    string                 `json:"s,omitempty"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+// chromeMeta is a metadata event naming a lane's track.
+type chromeMeta struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args"`
+}
+
+// WriteChromeJSON writes the trace in Chrome trace-event JSON. Load the file
+// at ui.perfetto.dev (or chrome://tracing): each lane renders as one track,
+// spans as nested slices, events as instants. Output is deterministic: lanes
+// sort by id, records by sequence number, and args keys are sorted by the
+// encoder.
+func (t *Trace) WriteChromeJSON(w io.Writer) error {
+	if _, err := io.WriteString(w, "{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	first := true
+	emit := func(v interface{}) error {
+		if !first {
+			if _, err := io.WriteString(w, ","); err != nil {
+				return err
+			}
+		}
+		first = false
+		// Encoder.Encode appends a newline, giving one event per line.
+		return enc.Encode(v)
+	}
+	for _, l := range t.Lanes {
+		meta := chromeMeta{
+			Name: "thread_name", Ph: "M", Tid: l.ID,
+			Args: map[string]string{"name": l.Name},
+		}
+		if err := emit(meta); err != nil {
+			return err
+		}
+		for i := range l.Records {
+			r := &l.Records[i]
+			ev := chromeEvent{
+				Name: r.Name,
+				Ts:   r.Start * 1e6,
+				Tid:  l.ID,
+				Args: make(map[string]interface{}, r.NAttrs+2),
+			}
+			for _, a := range r.AttrList() {
+				ev.Args[a.Key] = a.Value()
+			}
+			ev.Args["seq"] = r.Seq
+			switch r.Kind {
+			case KindEvent:
+				ev.Ph = "i"
+				ev.S = "t"
+			default:
+				ev.Ph = "X"
+				ev.Dur = (r.End - r.Start) * 1e6
+				if r.WallNs > 0 {
+					ev.Args["wall_ms"] = float64(r.WallNs) / 1e6
+				}
+				if r.Open {
+					ev.Args["open"] = true
+				}
+			}
+			if err := emit(ev); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := io.WriteString(w, "],\"displayTimeUnit\":\"ms\"}\n")
+	return err
+}

@@ -1,0 +1,31 @@
+package trace
+
+import (
+	"bufio"
+	"os"
+	"strings"
+)
+
+// WriteFile exports the trace to path, picking the format from the file
+// extension: ".jsonl" writes the line-oriented JSONL format (ReadJSONL can
+// load it back); anything else writes Chrome trace-event JSON, loadable
+// directly in Perfetto or chrome://tracing.
+func (t *Trace) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if strings.HasSuffix(path, ".jsonl") {
+		err = t.WriteJSONL(bw)
+	} else {
+		err = t.WriteChromeJSON(bw)
+	}
+	if ferr := bw.Flush(); err == nil {
+		err = ferr
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

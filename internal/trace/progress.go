@@ -1,0 +1,118 @@
+package trace
+
+import "sort"
+
+// Attribute keys the progress report understands: spans that carry these
+// (ints) get an ETA extrapolated from their own completion rate.
+const (
+	// AttrDone is the work-items-completed attribute ("done").
+	AttrDone = "done"
+	// AttrTotal is the planned-work-items attribute ("total").
+	AttrTotal = "total"
+)
+
+// PhaseStat aggregates the completed spans of one name across all lanes.
+type PhaseStat struct {
+	Name string `json:"name"`
+	// Count is the number of completed spans.
+	Count int `json:"count"`
+	// TotalVirtual and MeanVirtual are virtual-clock seconds.
+	TotalVirtual float64 `json:"total_virtual_s"`
+	MeanVirtual  float64 `json:"mean_virtual_s"`
+	// MeanWallNs is the mean wall-clock span duration (0 in deterministic
+	// traces, where wall capture is off).
+	MeanWallNs int64 `json:"mean_wall_ns,omitempty"`
+}
+
+// OpenSpanStatus is one still-open span with its progress extrapolation.
+type OpenSpanStatus struct {
+	Lane     int    `json:"lane"`
+	LaneName string `json:"lane_name"`
+	Name     string `json:"name"`
+	// Elapsed is virtual seconds since the span started.
+	Elapsed float64 `json:"elapsed_virtual_s"`
+	// Done/Total mirror the span's AttrDone/AttrTotal attributes (0 when
+	// absent).
+	Done  int64 `json:"done,omitempty"`
+	Total int64 `json:"total,omitempty"`
+	// ETA is the estimated remaining virtual seconds: rate-extrapolated from
+	// Done/Total when the span reports them, falling back to the mean of
+	// completed same-name spans; -1 when no estimate is possible.
+	ETA float64 `json:"eta_virtual_s"`
+}
+
+// ProgressReport is the payload of the /progress endpoint: per-phase span
+// statistics plus an ETA for every span still running — the per-census phase
+// ETA view of a live campaign.
+type ProgressReport struct {
+	Phases []PhaseStat      `json:"phases"`
+	Open   []OpenSpanStatus `json:"open"`
+}
+
+// Progress aggregates the snapshot into per-phase statistics and open-span
+// ETAs. Phases sort by name, open spans by (lane, start sequence).
+func (t *Trace) Progress() ProgressReport {
+	type agg struct {
+		count  int
+		vsum   float64
+		wallNs int64
+	}
+	phases := make(map[string]*agg)
+	var report ProgressReport
+	for _, l := range t.Lanes {
+		for i := range l.Records {
+			r := &l.Records[i]
+			if r.Kind != KindSpan {
+				continue
+			}
+			if r.Open {
+				st := OpenSpanStatus{
+					Lane:     l.ID,
+					LaneName: l.Name,
+					Name:     r.Name,
+					Elapsed:  r.End - r.Start,
+					ETA:      -1,
+				}
+				if a, ok := r.Attr(AttrDone); ok {
+					st.Done, _ = a.Value().(int64)
+				}
+				if a, ok := r.Attr(AttrTotal); ok {
+					st.Total, _ = a.Value().(int64)
+				}
+				report.Open = append(report.Open, st)
+				continue
+			}
+			a := phases[r.Name]
+			if a == nil {
+				a = &agg{}
+				phases[r.Name] = a
+			}
+			a.count++
+			a.vsum += r.End - r.Start
+			a.wallNs += r.WallNs
+		}
+	}
+	for i := range report.Open {
+		st := &report.Open[i]
+		switch {
+		case st.Done > 0 && st.Total > st.Done:
+			st.ETA = st.Elapsed * float64(st.Total-st.Done) / float64(st.Done)
+		case st.Total > st.Done:
+			if a := phases[st.Name]; a != nil && a.count > 0 {
+				st.ETA = (a.vsum / float64(a.count)) * float64(st.Total-st.Done)
+			}
+		}
+	}
+	report.Phases = make([]PhaseStat, 0, len(phases))
+	for name, a := range phases {
+		report.Phases = append(report.Phases, PhaseStat{
+			Name:         name,
+			Count:        a.count,
+			TotalVirtual: a.vsum,
+			MeanVirtual:  a.vsum / float64(a.count),
+			MeanWallNs:   a.wallNs / int64(a.count),
+		})
+	}
+	sort.Slice(report.Phases, func(i, j int) bool { return report.Phases[i].Name < report.Phases[j].Name })
+	return report
+}
