@@ -154,6 +154,13 @@ func runners() []runner {
 		{"Ablations", "design-choice ablations", func(seed int64) (string, error) {
 			return experiments.FormatAblations(experiments.Ablations(seed)), nil
 		}},
+		{"Compare", "strategy head-to-head (TopoShot/DEthna/TxProbe/Ethna)", func(seed int64) (string, error) {
+			rows, err := experiments.Compare(seed, experiments.DefaultCompareConfig())
+			if err != nil {
+				return "", err
+			}
+			return experiments.FormatCompare(rows), nil
+		}},
 	}
 }
 

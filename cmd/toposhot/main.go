@@ -23,6 +23,7 @@ import (
 	"toposhot/internal/netgen"
 	"toposhot/internal/profile"
 	"toposhot/internal/runner"
+	"toposhot/internal/strategy"
 	"toposhot/internal/trace"
 	"toposhot/internal/txpool"
 	"toposhot/internal/types"
@@ -33,6 +34,7 @@ func main() {
 	k := flag.Int("k", 20, "parallel schedule group size K")
 	seed := flag.Int64("seed", 42, "simulation seed")
 	preset := flag.String("preset", "", "testnet preset: ropsten|rinkeby|goerli (overrides -n)")
+	strat := flag.String("strategy", "toposhot", "measurement method: toposhot|dethna|txprobe|ethna (non-toposhot methods probe all eligible pairs)")
 	out := flag.String("out", "", "output file (default stdout)")
 	uniform := flag.Bool("uniform", false, "all-default nodes (no heterogeneity)")
 	parallel := flag.Int("parallel", 0, "worker-pool width for independent simulations (0 = GOMAXPROCS, 1 = serial); results are identical at any width")
@@ -50,7 +52,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	_ = tracer
 
 	prof, err := profile.StartRuntime(*cpuprofile, *memprofile)
 	if err != nil {
@@ -122,22 +123,48 @@ func main() {
 		g.NumNodes(), g.NumEdges())
 	pre := m.Preprocess(inst.IDs)
 	targets := pre.EligibleNodes(inst.IDs)
-	fmt.Fprintf(os.Stderr, "measuring %d eligible nodes with K=%d...\n", len(targets), *k)
-
-	res, err := m.MeasureNetwork(targets, *k, 144)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "measurement failed: %v\n", err)
-		os.Exit(1)
-	}
 	truth := core.EdgeSetOf(net.Edges())
-	eligible := map[types.NodeID]bool{}
-	for _, id := range targets {
-		eligible[id] = true
+
+	var detected *core.EdgeSet
+	if *strat == string(strategy.MethodTopoShot) {
+		fmt.Fprintf(os.Stderr, "measuring %d eligible nodes with K=%d...\n", len(targets), *k)
+		res, err := m.MeasureNetwork(targets, *k, 144)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "measurement failed: %v\n", err)
+			os.Exit(1)
+		}
+		detected = res.Detected
+		eligible := map[types.NodeID]bool{}
+		for _, id := range targets {
+			eligible[id] = true
+		}
+		sc := core.ScoreAgainst(detected, truth, func(id types.NodeID) bool { return eligible[id] })
+		fmt.Fprintf(os.Stderr, "done in %.2f virtual hours over %d calls: %v\n",
+			res.Duration/3600, res.Calls, sc)
+		fmt.Fprintf(os.Stderr, "worst-case cost: %.4f ETH\n", core.Ether(m.Ledger.WorstCaseWei()))
+	} else {
+		s, err := strategy.NewMethod(strategy.Method(*strat), net, super, strategy.Config{TopoShot: params})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		var pairs [][2]types.NodeID
+		for i := range targets {
+			for j := i + 1; j < len(targets); j++ {
+				pairs = append(pairs, [2]types.NodeID{targets[i], targets[j]})
+			}
+		}
+		fmt.Fprintf(os.Stderr, "measuring %d pairs over %d eligible nodes with %s...\n",
+			len(pairs), len(targets), s.Name())
+		out, err := strategy.RunPairs(tracer, net, s, pairs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "measurement failed: %v\n", err)
+			os.Exit(1)
+		}
+		detected = out.Claimed
+		fmt.Fprintf(os.Stderr, "done in %.2f virtual hours: %v (%d probe txs)\n",
+			out.VirtualSeconds/3600, out.Score(truth), out.Cost.Total())
 	}
-	sc := core.ScoreAgainst(res.Detected, truth, func(id types.NodeID) bool { return eligible[id] })
-	fmt.Fprintf(os.Stderr, "done in %.2f virtual hours over %d calls: %v\n",
-		res.Duration/3600, res.Calls, sc)
-	fmt.Fprintf(os.Stderr, "worst-case cost: %.4f ETH\n", core.Ether(m.Ledger.WorstCaseWei()))
 	if err := flushTrace(); err != nil {
 		fmt.Fprintf(os.Stderr, "trace: %v\n", err)
 		os.Exit(1)
@@ -155,7 +182,7 @@ func main() {
 	}
 	bw := bufio.NewWriter(dst)
 	defer bw.Flush()
-	for _, e := range res.Detected.Edges() {
+	for _, e := range detected.Edges() {
 		va, okA := inst.Back[e[0]]
 		vb, okB := inst.Back[e[1]]
 		if okA && okB {

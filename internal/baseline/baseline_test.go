@@ -1,10 +1,12 @@
 package baseline
 
 import (
+	"errors"
 	"testing"
 
 	"toposhot/internal/core"
 	"toposhot/internal/ethsim"
+	"toposhot/internal/strategy"
 	"toposhot/internal/txpool"
 	"toposhot/internal/types"
 )
@@ -99,5 +101,65 @@ func TestCrawlInactiveOverApproximates(t *testing.T) {
 	}
 	if rep.PrecisionAsActive > 0.5 {
 		t.Fatalf("routing tables too precise (%v): W2 distinction lost", rep.PrecisionAsActive)
+	}
+}
+
+// TestCompareRejectsUnknownPair is the regression for the built-but-unused
+// universe map: Compare must reject pairs referencing nodes the measured
+// network has never seen, with a typed error naming the offender.
+func TestCompareRejectsUnknownPair(t *testing.T) {
+	net, super, ids := buildNet(t, 5, 4)
+	probe := NewTxProbe(net, super)
+	m := core.NewMeasurer(net, super, core.DefaultParams())
+	_, err := Compare(m, probe, [][2]types.NodeID{
+		{ids[0], ids[1]},
+		{ids[2], 4242},
+	})
+	var unknown strategy.UnknownNodeError
+	if !errors.As(err, &unknown) {
+		t.Fatalf("want strategy.UnknownNodeError, got %v", err)
+	}
+	if unknown.ID != 4242 {
+		t.Fatalf("error names node %d, want 4242", unknown.ID)
+	}
+	if probe.Cost().Total() != 0 {
+		t.Fatal("Compare probed before validating the pair list")
+	}
+}
+
+// TestActiveEdgesExcludingNodeZero is the regression for the node-0 sentinel
+// bug: the old code used `superID := types.NodeID(0)` as "no supernode",
+// silently dropping a real node 0's edges from the active count.
+func TestActiveEdgesExcludingNodeZero(t *testing.T) {
+	s := core.NewEdgeSet()
+	s.Add(0, 1)
+	s.Add(1, 2)
+	if got := activeEdgesExcluding(s, nil); got != 2 {
+		t.Fatalf("nil exclusion counted %d edges, want 2 (node 0 is a real node)", got)
+	}
+	zero := types.NodeID(0)
+	if got := activeEdgesExcluding(s, &zero); got != 1 {
+		t.Fatalf("excluding node 0 counted %d edges, want 1", got)
+	}
+}
+
+// TestCrawlInactiveNoSupernode checks that a supernode-less network keeps
+// every active edge in the denominator.
+func TestCrawlInactiveNoSupernode(t *testing.T) {
+	cfg := ethsim.DefaultConfig(6)
+	net := ethsim.NewNetwork(cfg)
+	pol := txpool.Geth.WithCapacity(256)
+	ids := make([]types.NodeID, 12)
+	for i := range ids {
+		ids[i] = net.AddNode(ethsim.NodeConfig{Policy: pol, MaxPeers: 50}).ID()
+	}
+	for i := 0; i+1 < len(ids); i++ {
+		if err := net.Connect(ids[i], ids[i+1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := CrawlInactive(net, 2, 6)
+	if rep.ActiveEdges != len(ids)-1 {
+		t.Fatalf("ActiveEdges = %d, want %d (no supernode to exclude)", rep.ActiveEdges, len(ids)-1)
 	}
 }

@@ -3,67 +3,27 @@
 // under Ethereum's account model and push propagation — Appendix A and
 // §4.1), and the W2-class FIND_NODE crawl that measures inactive edges
 // instead of active ones.
+//
+// The TxProbe implementation itself lives in internal/strategy, where it
+// runs head-to-head against TopoShot, DEthna, and Ethna under the shared
+// Strategy interface; this package keeps its historical constructor and the
+// pairwise comparison drivers.
 package baseline
 
 import (
-	"fmt"
-
 	"toposhot/internal/core"
 	"toposhot/internal/discv"
 	"toposhot/internal/ethsim"
+	"toposhot/internal/strategy"
 	"toposhot/internal/types"
 )
 
-// TxProbe ports TxProbe's Bitcoin topology-inference protocol onto an
-// Ethereum network: to test the link A–B it sends conflicting ("double
-// spend" — same sender and nonce) transactions tx1 to A and tx1' to B, then
-// a child transaction txA (next nonce) to A, and watches whether txA shows
-// up at B. Under Bitcoin's UTXO model txA is an orphan on B's side of the
-// network and stops propagating; under Ethereum's account model txA is a
-// perfectly valid pending transaction everywhere — nonce 1 is executable on
-// top of *either* conflicting nonce-0 transaction — so it floods the whole
-// network and the method reports links that do not exist.
-type TxProbe struct {
-	net   *ethsim.Network
-	super *ethsim.Supernode
-
-	// X is the conflict-propagation wait; Settle the detection wait.
-	X, Settle float64
-
-	acctSeq uint64
-}
+// TxProbe is the strategy-framework TxProbe at its historical import path.
+type TxProbe = strategy.TxProbe
 
 // NewTxProbe wires the baseline to a network and supernode.
 func NewTxProbe(net *ethsim.Network, super *ethsim.Supernode) *TxProbe {
-	return &TxProbe{net: net, super: super, X: 10, Settle: 6}
-}
-
-func (p *TxProbe) freshAccount() types.Address {
-	p.acctSeq++
-	return types.AddressFromUint64(0xdead<<40 | p.acctSeq)
-}
-
-// MeasureOneLink runs the TxProbe protocol against nodes a and b and
-// reports whether it *claims* a link exists.
-func (p *TxProbe) MeasureOneLink(a, b types.NodeID) (bool, error) {
-	if p.net.Node(a) == nil || p.net.Node(b) == nil {
-		return false, fmt.Errorf("baseline: unknown target %v or %v", a, b)
-	}
-	sender := p.freshAccount()
-	price := uint64(types.Gwei)
-	// The "double spend": same sender+nonce, different receivers.
-	tx1 := types.NewTransaction(sender, p.freshAccount(), 0, price, 0)
-	tx1p := types.NewTransaction(sender, p.freshAccount(), 0, price, 0)
-	p.super.Inject(a, tx1)
-	p.super.Inject(b, tx1p)
-	p.net.RunFor(p.X)
-
-	// The marker transaction: child of tx1, sent to A only.
-	txA := types.NewTransaction(sender, p.freshAccount(), 1, price, 0)
-	checkFrom := p.net.Now()
-	p.super.Inject(a, txA)
-	p.net.RunFor(p.Settle)
-	return p.super.PossessedBy(b, txA.Hash(), checkFrom), nil
+	return strategy.NewTxProbe(net, super)
 }
 
 // CompareReport contrasts TxProbe and TopoShot on the same node pairs.
@@ -75,13 +35,23 @@ type CompareReport struct {
 // Compare measures every pair in `pairs` with both methods against the
 // network's ground truth and returns both scores — the Appendix-A
 // experiment showing TxProbe's false positives under Ethereum semantics.
+// Pairs referencing nodes absent from the measured network are rejected
+// up front with a strategy.UnknownNodeError.
 func Compare(m *core.Measurer, probe *TxProbe, pairs [][2]types.NodeID) (CompareReport, error) {
+	universe := make(map[types.NodeID]bool)
+	for _, nd := range m.Network().Nodes() {
+		universe[nd.ID()] = true
+	}
+	for _, pr := range pairs {
+		for _, id := range pr {
+			if !universe[id] {
+				return CompareReport{}, strategy.UnknownNodeError{ID: id}
+			}
+		}
+	}
 	truth := core.EdgeSetOf(m.Network().Edges())
 	tpSet, tsSet := core.NewEdgeSet(), core.NewEdgeSet()
-	universe := make(map[types.NodeID]bool)
 	for _, pr := range pairs {
-		universe[pr[0]] = true
-		universe[pr[1]] = true
 		got, err := probe.MeasureOneLink(pr[0], pr[1])
 		if err != nil {
 			return CompareReport{}, err
@@ -141,18 +111,18 @@ func CrawlInactive(net *ethsim.Network, lookups int, seed int64) InactiveEdgeRep
 	inactive := sys.CrawlInactiveEdges(lookups, seed+1)
 
 	activeSet := core.EdgeSetOf(net.Edges())
-	superID := types.NodeID(0)
+	// Exclude the supernode's instrumentation links from the active-edge
+	// denominator only when a supernode actually exists: a zero-value
+	// sentinel would silently exclude a real node 0 on a supernode-less
+	// network (node ids are opaque; nothing reserves 0).
+	var superID *types.NodeID
 	for _, nd := range net.Nodes() {
 		if nd.Config().Label == "supernode" {
-			superID = nd.ID()
+			id := nd.ID()
+			superID = &id
 		}
 	}
-	active := 0
-	for _, e := range activeSet.Edges() {
-		if e[0] != superID && e[1] != superID {
-			active++
-		}
-	}
+	active := activeEdgesExcluding(activeSet, superID)
 	overlap := 0
 	for _, e := range inactive {
 		if activeSet.Has(e[0], e[1]) {
@@ -171,4 +141,17 @@ func CrawlInactive(net *ethsim.Network, lookups int, seed int64) InactiveEdgeRep
 		rep.RecallOfActive = float64(overlap) / float64(rep.ActiveEdges)
 	}
 	return rep
+}
+
+// activeEdgesExcluding counts edges with neither endpoint equal to exclude;
+// a nil exclude counts every edge.
+func activeEdgesExcluding(s *core.EdgeSet, exclude *types.NodeID) int {
+	active := 0
+	for _, e := range s.Edges() {
+		if exclude != nil && (e[0] == *exclude || e[1] == *exclude) {
+			continue
+		}
+		active++
+	}
+	return active
 }

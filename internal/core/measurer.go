@@ -148,8 +148,9 @@ type Measurer struct {
 	super  *ethsim.Supernode
 	params Params
 
-	// acctSeq mints fresh measurement accounts; the high bit namespaces them
-	// away from workload accounts.
+	// acctSeq mints fresh measurement accounts in the SpaceTopoShot account
+	// space, disjoint from workload accounts and every other strategy's
+	// senders (see types.NamespacedAddress).
 	acctSeq uint64
 
 	// ZOverride holds per-node future-count overrides discovered by
@@ -222,7 +223,7 @@ func (m *Measurer) Network() *ethsim.Network { return m.net }
 // freshAccount mints a measurement account never seen by the network.
 func (m *Measurer) freshAccount() types.Address {
 	m.acctSeq++
-	return types.AddressFromUint64(1<<63 | m.acctSeq)
+	return types.NamespacedAddress(types.SpaceTopoShot, m.acctSeq)
 }
 
 // EstimateY implements the paper's workload-adaptive pricing: rank the

@@ -1,6 +1,8 @@
 package ethsim
 
 import (
+	"sort"
+
 	"toposhot/internal/txpool"
 	"toposhot/internal/types"
 )
@@ -238,6 +240,57 @@ func (s *Supernode) VerdictFor(peer types.NodeID, h types.Hash, t float64) Verdi
 // discarded. VerdictFor exposes the full classification.
 func (s *Supernode) ObservedOnlyFrom(peer types.NodeID, h types.Hash, t float64) bool {
 	return s.VerdictFor(peer, h, t).Detected()
+}
+
+// PeerTime is one peer's earliest possession evidence for a transaction
+// hash, as observed by the supernode.
+type PeerTime struct {
+	Peer types.NodeID
+	// At is the virtual time of the peer's first delivery or announcement.
+	At float64
+	// Pushed reports whether that first evidence was a full-transaction
+	// delivery rather than a hash announcement. A peer that relays a
+	// transaction picks ⌈√d⌉ of its d neighbors for direct push and announces
+	// to the rest, so over many transactions the push share observed at the
+	// supernode estimates 1/√d — the redundancy signal Ethna's degree
+	// inference counts.
+	Pushed bool
+}
+
+// PossessionTimes returns, for every peer that delivered or announced h at
+// or after `since`, the time and kind of its earliest evidence, sorted by
+// (time, peer id). It is the per-peer mark-attribution hook: DEthna ranks
+// these arrival times to separate the injection target's direct neighbors
+// (one gossip hop behind the target) from the rest of the network.
+func (s *Supernode) PossessionTimes(h types.Hash, since float64) []PeerTime {
+	first := make(map[types.NodeID]PeerTime)
+	for _, r := range s.byHash[h] {
+		if r.At < since {
+			continue
+		}
+		if cur, ok := first[r.From]; !ok || r.At < cur.At {
+			first[r.From] = PeerTime{Peer: r.From, At: r.At, Pushed: true}
+		}
+	}
+	for _, r := range s.announced[h] {
+		if r.At < since {
+			continue
+		}
+		if cur, ok := first[r.From]; !ok || r.At < cur.At {
+			first[r.From] = PeerTime{Peer: r.From, At: r.At, Pushed: false}
+		}
+	}
+	out := make([]PeerTime, 0, len(first))
+	for _, pt := range first {
+		out = append(out, pt)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Peer < out[j].Peer
+	})
+	return out
 }
 
 // PossessedBy reports whether peer delivered or announced h at/after t —

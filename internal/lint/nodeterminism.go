@@ -8,13 +8,15 @@ import (
 )
 
 // nodeterminismScope lists the packages whose results must be reproducible
-// from a seed: the simulators, the measurement core, topology generation,
-// the pool model the simulator drives, and the worker pool that runs
-// independent simulations concurrently.
+// from a seed: the simulators, the measurement core, the measurement
+// strategies built on it, topology generation, the pool model the simulator
+// drives, and the worker pool that runs independent simulations
+// concurrently.
 var nodeterminismScope = []string{
 	modulePrefix + "/internal/sim",
 	modulePrefix + "/internal/ethsim",
 	modulePrefix + "/internal/core",
+	modulePrefix + "/internal/strategy",
 	modulePrefix + "/internal/netgen",
 	modulePrefix + "/internal/txpool",
 	modulePrefix + "/internal/runner",

@@ -1,0 +1,158 @@
+package strategy
+
+import (
+	"fmt"
+
+	"toposhot/internal/core"
+	"toposhot/internal/ethsim"
+	"toposhot/internal/trace"
+	"toposhot/internal/types"
+)
+
+// Method names one built-in strategy.
+type Method string
+
+// The built-in methods, in their canonical comparison order.
+const (
+	MethodTopoShot Method = "toposhot"
+	MethodDEthna   Method = "dethna"
+	MethodTxProbe  Method = "txprobe"
+	MethodEthna    Method = "ethna"
+)
+
+// Methods returns the built-in methods in canonical order.
+func Methods() []Method {
+	return []Method{MethodTopoShot, MethodDEthna, MethodTxProbe, MethodEthna}
+}
+
+// Config carries per-method tuning for NewMethod. The zero value of any
+// field keeps that method's default.
+type Config struct {
+	// TopoShot is the measurer's parameter set (zero X → core defaults).
+	TopoShot core.Params
+	// TxProbeX / TxProbeSettle override TxProbe's waits.
+	TxProbeX, TxProbeSettle float64
+	// DEthnaRepeats / DEthnaSettle override DEthna's mark schedule.
+	DEthnaRepeats int
+	DEthnaSettle  float64
+	// EthnaSamples / EthnaSettle override Ethna's redundancy sweep.
+	EthnaSamples int
+	EthnaSettle  float64
+}
+
+// NewMethod builds one strategy on a network and supernode. Strategies built
+// on the same network share its pools and virtual clock — run them
+// sequentially, or on independent same-seed networks for a clean comparison.
+func NewMethod(m Method, net *ethsim.Network, super *ethsim.Supernode, cfg Config) (Strategy, error) {
+	switch m {
+	case MethodTopoShot:
+		return NewTopoShot(core.NewMeasurer(net, super, cfg.TopoShot)), nil
+	case MethodTxProbe:
+		p := NewTxProbe(net, super)
+		if cfg.TxProbeX > 0 {
+			p.X = cfg.TxProbeX
+		}
+		if cfg.TxProbeSettle > 0 {
+			p.Settle = cfg.TxProbeSettle
+		}
+		return p, nil
+	case MethodDEthna:
+		d := NewDEthna(net, super)
+		if cfg.DEthnaRepeats > 0 {
+			d.Repeats = cfg.DEthnaRepeats
+		}
+		if cfg.DEthnaSettle > 0 {
+			d.Settle = cfg.DEthnaSettle
+		}
+		return d, nil
+	case MethodEthna:
+		e := NewEthna(net, super)
+		if cfg.EthnaSamples > 0 {
+			e.Samples = cfg.EthnaSamples
+		}
+		if cfg.EthnaSettle > 0 {
+			e.Settle = cfg.EthnaSettle
+		}
+		return e, nil
+	}
+	return nil, fmt.Errorf("strategy: unknown method %q", m)
+}
+
+// PairVerdict is one pair's claim, in campaign input order.
+type PairVerdict struct {
+	A, B  types.NodeID
+	Claim Claim
+}
+
+// Outcome summarizes one strategy's campaign over a pair list.
+type Outcome struct {
+	Method string
+	// Claimed holds the pairs the strategy asserted as links.
+	Claimed *core.EdgeSet
+	// Verdicts records every pair's claim in input order.
+	Verdicts []PairVerdict
+	// Cost is the strategy's probe-transaction tally after the campaign.
+	Cost Cost
+	// VirtualSeconds is the simulated time the campaign consumed.
+	VirtualSeconds float64
+}
+
+// RunPairs drives one strategy over a pair list: validate, Prepare, then
+// MeasurePair each pair in order, recording a campaign span with one probe
+// span (and verdict attribute) per pair. tr may be nil (tracing off).
+func RunPairs(tr *trace.Tracer, net *ethsim.Network, s Strategy, pairs [][2]types.NodeID) (*Outcome, error) {
+	for _, pr := range pairs {
+		if pr[0] == pr[1] {
+			return nil, fmt.Errorf("strategy: self-pair %v", pr[0])
+		}
+		for _, id := range pr {
+			if net.Node(id) == nil {
+				return nil, UnknownNodeError{ID: id}
+			}
+		}
+	}
+	span := tr.StartSpan(SpanCampaign,
+		trace.String(AttrMethod, s.Name()), trace.Int(attrPairs, int64(len(pairs))))
+	defer span.End()
+	start := net.Now()
+	if err := s.Prepare(pairs); err != nil {
+		return nil, err
+	}
+	out := &Outcome{
+		Method:   s.Name(),
+		Claimed:  core.NewEdgeSet(),
+		Verdicts: make([]PairVerdict, 0, len(pairs)),
+	}
+	for _, pr := range pairs {
+		ps := tr.StartSpan(SpanProbe,
+			trace.String(AttrMethod, s.Name()),
+			trace.Int(attrNodeA, int64(pr[0])), trace.Int(attrNodeB, int64(pr[1])))
+		c, err := s.MeasurePair(pr[0], pr[1])
+		if err != nil {
+			ps.End()
+			return nil, err
+		}
+		ps.SetAttr(trace.String(AttrVerdict, c.Verdict))
+		ps.End()
+		if c.Detected {
+			out.Claimed.Add(pr[0], pr[1])
+		}
+		out.Verdicts = append(out.Verdicts, PairVerdict{A: pr[0], B: pr[1], Claim: c})
+	}
+	out.Cost = s.Cost()
+	out.VirtualSeconds = net.Now() - start
+	span.SetAttr(trace.Int(attrClaimed, int64(out.Claimed.Len())))
+	return out, nil
+}
+
+// Score compares the outcome against ground truth restricted to the measured
+// pairs — the strategy is only accountable for what it was asked about.
+func (o *Outcome) Score(truth *core.EdgeSet) core.Score {
+	measuredTruth := core.NewEdgeSet()
+	for _, v := range o.Verdicts {
+		if truth.Has(v.A, v.B) {
+			measuredTruth.Add(v.A, v.B)
+		}
+	}
+	return core.ScoreAgainst(o.Claimed, measuredTruth, nil)
+}

@@ -1,0 +1,83 @@
+package strategy
+
+import (
+	"toposhot/internal/ethsim"
+	"toposhot/internal/types"
+)
+
+// TxProbe ports TxProbe's Bitcoin topology-inference protocol onto an
+// Ethereum network: to test the link A–B it sends conflicting ("double
+// spend" — same sender and nonce) transactions tx1 to A and tx1' to B, then
+// a child transaction txA (next nonce) to A, and watches whether txA shows
+// up at B. Under Bitcoin's UTXO model txA is an orphan on B's side of the
+// network and stops propagating; under Ethereum's account model txA is a
+// perfectly valid pending transaction everywhere — nonce 1 is executable on
+// top of *either* conflicting nonce-0 transaction — so it floods the whole
+// network and the method reports links that do not exist (Appendix A).
+type TxProbe struct {
+	net   *ethsim.Network
+	super *ethsim.Supernode
+
+	// X is the conflict-propagation wait; Settle the detection wait.
+	X, Settle float64
+	// Price is the probe transactions' gas price.
+	Price uint64
+
+	mint    accountMinter
+	pending int
+}
+
+// NewTxProbe wires the baseline to a network and supernode with the
+// historical defaults (X=10, Settle=6, 1 Gwei probes).
+func NewTxProbe(net *ethsim.Network, super *ethsim.Supernode) *TxProbe {
+	return &TxProbe{
+		net: net, super: super,
+		X: 10, Settle: 6, Price: types.Gwei,
+		mint: minter(types.SpaceTxProbe),
+	}
+}
+
+// Name implements Strategy.
+func (p *TxProbe) Name() string { return "txprobe" }
+
+// Prepare implements Strategy; TxProbe probes per pair.
+func (p *TxProbe) Prepare(pairs [][2]types.NodeID) error { return nil }
+
+// MeasurePair runs the TxProbe protocol against nodes a and b.
+func (p *TxProbe) MeasurePair(a, b types.NodeID) (Claim, error) {
+	if p.net.Node(a) == nil {
+		return Claim{}, UnknownNodeError{ID: a}
+	}
+	if p.net.Node(b) == nil {
+		return Claim{}, UnknownNodeError{ID: b}
+	}
+	sender := p.mint.fresh()
+	// The "double spend": same sender+nonce, different receivers.
+	tx1 := types.NewTransaction(sender, p.mint.fresh(), 0, p.Price, 0)
+	tx1p := types.NewTransaction(sender, p.mint.fresh(), 0, p.Price, 0)
+	p.super.Inject(a, tx1)
+	p.super.Inject(b, tx1p)
+	p.pending += 2
+	p.net.RunFor(p.X)
+
+	// The marker transaction: child of tx1, sent to A only.
+	txA := types.NewTransaction(sender, p.mint.fresh(), 1, p.Price, 0)
+	checkFrom := p.net.Now()
+	p.super.Inject(a, txA)
+	p.pending++
+	p.net.RunFor(p.Settle)
+	if p.super.PossessedBy(b, txA.Hash(), checkFrom) {
+		return Claim{Detected: true, Verdict: "marker-possessed"}, nil
+	}
+	return Claim{Verdict: "marker-absent"}, nil
+}
+
+// MeasureOneLink is the historical boolean API, kept for callers predating
+// the strategy framework.
+func (p *TxProbe) MeasureOneLink(a, b types.NodeID) (bool, error) {
+	c, err := p.MeasurePair(a, b)
+	return c.Detected, err
+}
+
+// Cost implements Strategy: three pending-class transactions per pair.
+func (p *TxProbe) Cost() Cost { return Cost{PendingTxs: p.pending} }

@@ -64,6 +64,34 @@ func AddressFromUint64(n uint64) Address {
 	return a
 }
 
+// Account-space prefixes partition the 64-bit account-seed space among the
+// subsystems that mint synthetic accounts, so measurement strategies sharing
+// one network can never collide on a sender — a collision would entangle two
+// strategies' nonce state mid-comparison and corrupt both. Each space owns
+// the top byte of the seed passed to AddressFromUint64; the low 56 bits are
+// the minter's private sequence. SpaceTopoShot is 0x80 because the original
+// measurer namespaced its accounts with the high bit (1<<63), and existing
+// fixed-seed results must stay byte-identical.
+const (
+	// SpaceTopoShot namespaces core.Measurer's measurement accounts.
+	SpaceTopoShot uint64 = 0x80
+	// SpaceTxProbe namespaces the TxProbe baseline's conflict/marker senders.
+	SpaceTxProbe uint64 = 0xa1
+	// SpaceDEthna namespaces DEthna's marked-transaction senders.
+	SpaceDEthna uint64 = 0xa2
+	// SpaceEthna namespaces Ethna's redundancy-probe senders.
+	SpaceEthna uint64 = 0xa3
+)
+
+// NamespacedAddress derives a deterministic address from a per-subsystem
+// account space and a sequence number. Sequences above 2^56 would bleed into
+// the prefix byte; minters never get close (a full mainnet census emits ~10^9
+// transactions), and the mask keeps even a pathological overflow inside its
+// own space rather than silently aliasing another.
+func NamespacedAddress(space, seq uint64) Address {
+	return AddressFromUint64(space<<56 | seq&(1<<56-1))
+}
+
 // Hex returns the 0x-prefixed hexadecimal form of the address.
 func (a Address) Hex() string { return "0x" + hex.EncodeToString(a[:]) }
 
