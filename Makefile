@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race check bench bench-smoke bench-compare fuzz
+.PHONY: build vet lint lint-sarif test race check bench bench-smoke bench-compare fuzz
 
 build:
 	$(GO) build ./...
@@ -8,11 +8,17 @@ build:
 vet:
 	$(GO) vet ./...
 
-# lint runs the project-specific analyzers (see internal/lint and DESIGN.md):
-# determinism, lock discipline, wire-error hygiene, big.Int aliasing, and
-# metrics nil-safety. Non-zero exit on any finding.
+# lint runs the project-specific analyzers (see internal/lint and DESIGN.md
+# §6/§11): determinism, lock discipline, wire-error hygiene, big.Int aliasing,
+# metrics/trace nil-safety, plus the interprocedural lock-order, goroutine-leak,
+# and hot-path-allocation rules. Non-zero exit on any finding.
 lint:
 	$(GO) run ./cmd/toposhotlint ./...
+
+# lint-sarif is the CI form of the same run: machine-readable SARIF 2.1.0 to
+# lint.sarif (uploaded as an artifact) alongside the plain findings.
+lint-sarif:
+	$(GO) run ./cmd/toposhotlint -sarif lint.sarif ./...
 
 test:
 	$(GO) test ./...

@@ -3,10 +3,15 @@
 //
 // Usage:
 //
-//	toposhotlint [-rules rule1,rule2] [-list] [packages...]
+//	toposhotlint [-rules rule1,rule2] [-list] [-json] [-sarif file]
+//	             [-github] [-no-tests] [-parallel n] [packages...]
 //
-// Packages default to ./... . Exit status is 0 when the tree is clean, 1 when
-// findings were reported, and 2 on usage or load errors.
+// Packages default to ./... . Findings print one per line as
+// "file:line: [rule] message"; -json switches stdout to a JSON array, -sarif
+// additionally writes a SARIF 2.1.0 log to the given file (CI uploads it as
+// an artifact), and -github appends GitHub Actions ::error annotations so
+// findings surface inline on pull requests. Exit status is 0 when the tree
+// is clean, 1 when findings were reported, and 2 on usage or load errors.
 package main
 
 import (
@@ -27,8 +32,13 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs.SetOutput(stderr)
 	rules := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
 	list := fs.Bool("list", false, "list known rules and exit")
+	asJSON := fs.Bool("json", false, "print findings as a JSON array instead of plain lines")
+	sarifPath := fs.String("sarif", "", "also write a SARIF 2.1.0 log to this file")
+	github := fs.Bool("github", false, "emit GitHub Actions ::error annotations for findings")
+	noTests := fs.Bool("no-tests", false, "exclude _test.go files from analysis")
+	parallel := fs.Int("parallel", 0, "analysis pool width (0 = number of CPUs); output is identical at any width")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: toposhotlint [-rules rule1,rule2] [-list] [packages...]")
+		fmt.Fprintln(stderr, "usage: toposhotlint [-rules rule1,rule2] [-list] [-json] [-sarif file] [-github] [-no-tests] [-parallel n] [packages...]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -40,7 +50,11 @@ func run(args []string, stdout, stderr *os.File) int {
 		}
 		return 0
 	}
-	opts := lint.Options{Patterns: fs.Args()}
+	opts := lint.Options{
+		Patterns: fs.Args(),
+		NoTests:  *noTests,
+		Parallel: *parallel,
+	}
 	if *rules != "" {
 		for _, r := range strings.Split(*rules, ",") {
 			if r = strings.TrimSpace(r); r != "" {
@@ -53,10 +67,41 @@ func run(args []string, stdout, stderr *os.File) int {
 		fmt.Fprintln(stderr, "toposhotlint:", err)
 		return 2
 	}
+	if *sarifPath != "" {
+		f, err := os.Create(*sarifPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "toposhotlint:", err)
+			return 2
+		}
+		err = lint.WriteSARIF(f, findings)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "toposhotlint: write sarif:", err)
+			return 2
+		}
+	}
+	if *asJSON {
+		if err := lint.WriteJSON(stdout, findings); err != nil {
+			fmt.Fprintln(stderr, "toposhotlint:", err)
+			return 2
+		}
+	} else if len(findings) > 0 {
+		fmt.Fprint(stdout, lint.Format(findings))
+	}
+	if *github {
+		for _, f := range findings {
+			// GitHub Actions workflow command: one inline PR annotation per
+			// finding. Newlines in messages would break the protocol; rule
+			// messages are single-line by construction.
+			fmt.Fprintf(stdout, "::error file=%s,line=%d,title=%s::%s\n",
+				f.Pos.Filename, f.Pos.Line, f.Rule, f.Msg)
+		}
+	}
 	if len(findings) == 0 {
 		return 0
 	}
-	fmt.Fprint(stdout, lint.Format(findings))
 	fmt.Fprintf(stderr, "toposhotlint: %d finding(s)\n", len(findings))
 	return 1
 }

@@ -1,0 +1,254 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// CallGraph is a static, module-wide call graph. Nodes are function and
+// method declarations found in the program's packages; edges approximate the
+// may-call relation:
+//
+//   - direct calls and method calls on concrete receivers resolve to their
+//     single target;
+//   - calls through an interface method resolve to that method on every
+//     in-module named type whose method set satisfies the interface
+//     (types.Implements), a sound over-approximation within the module;
+//   - calls inside a function literal are attributed to the enclosing
+//     declaration, since the literal runs with the declaration's frame
+//     either inline or as a spawned goroutine;
+//   - calls to functions outside the module (stdlib) have no node and no
+//     edge — the analyzers that consume the graph treat unknown callees as
+//     having no interesting effects.
+//
+// Edge order is deterministic: Callees() returns targets sorted by node key.
+type CallGraph struct {
+	nodes map[*types.Func]*CGNode
+	// byName indexes nodes by their stable key for deterministic iteration.
+	keys  []string
+	byKey map[string]*CGNode
+	// impls are the module's named non-interface types, interface-dispatch
+	// candidates, in deterministic order.
+	impls []*types.Named
+}
+
+// CGNode is one declared function or method in the module.
+type CGNode struct {
+	Fn       *types.Func
+	Decl     *ast.FuncDecl
+	Pkg      *Package
+	TestFile bool // declared in a _test.go file
+
+	callees map[*CGNode]bool
+}
+
+// Key returns the node's stable identifier: package path, receiver type if
+// any, and function name — e.g. "toposhot/internal/node.(*peer).send".
+func (n *CGNode) Key() string {
+	return funcKey(n.Fn)
+}
+
+func funcKey(fn *types.Func) string {
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		recv := sig.Recv().Type()
+		name := ""
+		if ptr, ok := recv.(*types.Pointer); ok {
+			if named := recvNamed(ptr); named != nil {
+				name = "(*" + named.Obj().Name() + ")"
+			}
+		} else if named := recvNamed(recv); named != nil {
+			name = named.Obj().Name()
+		}
+		if name != "" {
+			return pkg + "." + name + "." + fn.Name()
+		}
+	}
+	return pkg + "." + fn.Name()
+}
+
+// Callees returns the node's call targets sorted by key.
+func (n *CGNode) Callees() []*CGNode {
+	out := make([]*CGNode, 0, len(n.callees))
+	for c := range n.callees {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// Node returns the graph node for a declared function, or nil if the
+// function is not part of the module (or has no body).
+func (g *CallGraph) Node(fn *types.Func) *CGNode {
+	return g.nodes[fn]
+}
+
+// Nodes returns every node sorted by key.
+func (g *CallGraph) Nodes() []*CGNode {
+	out := make([]*CGNode, 0, len(g.keys))
+	for _, k := range g.keys {
+		out = append(out, g.byKey[k])
+	}
+	return out
+}
+
+// BuildCallGraph constructs the static call graph over all packages in the
+// program. Packages without type information (load errors) contribute no
+// nodes; the graph is still usable for the rest of the module.
+func BuildCallGraph(prog *Program) *CallGraph {
+	g := &CallGraph{
+		nodes: make(map[*types.Func]*CGNode),
+		byKey: make(map[string]*CGNode),
+	}
+
+	// Pass 1: one node per function declaration with a body.
+	for _, pkg := range prog.Packages {
+		if pkg.Info == nil {
+			continue
+		}
+		for _, file := range pkg.Files {
+			test := pkg.IsTestFile(file)
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &CGNode{Fn: fn, Decl: fd, Pkg: pkg, TestFile: test, callees: make(map[*CGNode]bool)}
+				g.nodes[fn] = n
+			}
+		}
+	}
+	for fn, n := range g.nodes {
+		_ = fn
+		g.byKey[n.Key()] = n
+	}
+	for k := range g.byKey {
+		g.keys = append(g.keys, k)
+	}
+	sort.Strings(g.keys)
+
+	g.impls = collectImplementers(prog)
+
+	// Pass 2: edges. Calls inside FuncLits belong to the enclosing decl.
+	for _, pkg := range prog.Packages {
+		if pkg.Info == nil {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				caller := g.nodes[fn]
+				if caller == nil {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					for _, target := range g.Resolve(pkg, call) {
+						caller.callees[target] = true
+					}
+					return true
+				})
+			}
+		}
+	}
+	return g
+}
+
+// Resolve maps one call expression to the module function declarations it may
+// invoke: a single node for direct and concrete-method calls, every
+// implementing method for interface-method calls, nothing for out-of-module
+// callees and indirect calls through function values.
+func (g *CallGraph) Resolve(pkg *Package, call *ast.CallExpr) []*CGNode {
+	obj := calleeObject(pkg.Info, call)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	if target := g.nodes[fn]; target != nil {
+		return []*CGNode{target}
+	}
+	// No declaration node: either out-of-module, or an interface method.
+	// Interface methods dispatch dynamically — link every in-module
+	// implementation.
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return nil
+	}
+	iface, ok := sig.Recv().Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	var out []*CGNode
+	for _, named := range g.impls {
+		if !implementsIface(named, iface) {
+			continue
+		}
+		m := lookupMethod(named, fn.Name())
+		if m == nil {
+			continue
+		}
+		if target := g.nodes[m]; target != nil {
+			out = append(out, target)
+		}
+	}
+	return out
+}
+
+// collectImplementers gathers every named type declared in the module, in
+// deterministic order, as interface-implementation candidates.
+func collectImplementers(prog *Program) []*types.Named {
+	var out []*types.Named
+	for _, pkg := range prog.Packages {
+		if pkg.Types == nil {
+			continue
+		}
+		scope := pkg.Types.Scope()
+		names := scope.Names() // already sorted
+		for _, name := range names {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if _, isIface := named.Underlying().(*types.Interface); isIface {
+				continue
+			}
+			out = append(out, named)
+		}
+	}
+	return out
+}
+
+// implementsIface reports whether T or *T satisfies the interface.
+func implementsIface(named *types.Named, iface *types.Interface) bool {
+	if types.Implements(named, iface) {
+		return true
+	}
+	return types.Implements(types.NewPointer(named), iface)
+}
+
+// lookupMethod finds the concrete *types.Func for a method name on T or *T.
+func lookupMethod(named *types.Named, name string) *types.Func {
+	obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(named), true, named.Obj().Pkg(), name)
+	fn, _ := obj.(*types.Func)
+	return fn
+}

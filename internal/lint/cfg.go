@@ -1,0 +1,359 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// CFG is an intra-procedural control-flow graph over one function body.
+// Blocks hold statements in execution order; edges are possible successors.
+// The graph is syntactic — it models Go's structured control flow (if, for,
+// range, switch, select, return, break/continue with labels, fallthrough,
+// panic) and deliberately over-approximates the rest: a goto or an
+// unrecognized terminator is given an edge to Exit, so "Exit is unreachable"
+// is a sound claim wherever the builder reports it.
+//
+// goroleak consumes it for termination analysis (a goroutine whose CFG never
+// reaches Exit and blocks on no channel can only leak); it is exported
+// within the package for future flow-sensitive rules.
+type CFG struct {
+	Entry  *CFGBlock
+	Exit   *CFGBlock
+	Blocks []*CFGBlock
+}
+
+// CFGBlock is one basic block: a run of statements with a common set of
+// successor blocks.
+type CFGBlock struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*CFGBlock
+}
+
+// ExitReachable reports whether any path from Entry reaches Exit — i.e.
+// whether the function can ever return normally. Panics and gotos count as
+// reaching Exit (over-approximation; see the type comment).
+func (c *CFG) ExitReachable() bool {
+	seen := make([]bool, len(c.Blocks))
+	var dfs func(b *CFGBlock) bool
+	dfs = func(b *CFGBlock) bool {
+		if b == c.Exit {
+			return true
+		}
+		if seen[b.Index] {
+			return false
+		}
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			if dfs(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(c.Entry)
+}
+
+// cfgBuilder threads the under-construction graph through the statement
+// walk. cur is the block new statements append to; a nil-successor block
+// whose construction ended in a terminator keeps whatever edges the
+// terminator installed.
+type cfgBuilder struct {
+	cfg *CFG
+	cur *CFGBlock
+	// scopes stacks the enclosing breakable/continuable constructs, innermost
+	// last, for break/continue (optionally labeled) resolution.
+	scopes []cfgScope
+}
+
+type cfgScope struct {
+	label      string
+	breakTo    *CFGBlock
+	continueTo *CFGBlock // nil for switch/select scopes
+}
+
+// BuildCFG constructs the control-flow graph of one function body.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	c := &CFG{}
+	b := &cfgBuilder{cfg: c}
+	c.Entry = b.newBlock()
+	c.Exit = b.newBlock()
+	b.cur = c.Entry
+	b.stmts(body.List, "")
+	// Falling off the end of the body returns.
+	b.edge(b.cur, c.Exit)
+	return c
+}
+
+func (b *cfgBuilder) newBlock() *CFGBlock {
+	blk := &CFGBlock{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *CFGBlock) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// jump terminates the current block with an edge to target and switches to a
+// fresh, unreachable block for any (dead) statements that follow.
+func (b *cfgBuilder) jump(target *CFGBlock) {
+	b.edge(b.cur, target)
+	b.cur = b.newBlock()
+}
+
+func (b *cfgBuilder) stmts(list []ast.Stmt, label string) {
+	for i, s := range list {
+		// Only the statement a label is directly attached to may consume it.
+		if i > 0 {
+			label = ""
+		}
+		b.stmt(s, label)
+	}
+}
+
+// findScope resolves a break/continue target. Empty label means innermost
+// applicable scope; continue skips non-loop scopes.
+func (b *cfgBuilder) findScope(label string, isContinue bool) *cfgScope {
+	for i := len(b.scopes) - 1; i >= 0; i-- {
+		sc := &b.scopes[i]
+		if isContinue && sc.continueTo == nil {
+			continue
+		}
+		if label == "" || sc.label == label {
+			return sc
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(st.List, "")
+
+	case *ast.LabeledStmt:
+		b.stmt(st.Stmt, st.Label.Name)
+
+	case *ast.IfStmt:
+		if st.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, st.Init)
+		}
+		b.cur.Nodes = append(b.cur.Nodes, st.Cond)
+		cond := b.cur
+		after := b.newBlock()
+		thenB := b.newBlock()
+		b.edge(cond, thenB)
+		b.cur = thenB
+		b.stmts(st.Body.List, "")
+		b.edge(b.cur, after)
+		if st.Else != nil {
+			elseB := b.newBlock()
+			b.edge(cond, elseB)
+			b.cur = elseB
+			b.stmt(st.Else, "")
+			b.edge(b.cur, after)
+		} else {
+			b.edge(cond, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		if st.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, st.Init)
+		}
+		head := b.newBlock()
+		after := b.newBlock()
+		post := head
+		if st.Post != nil {
+			post = b.newBlock()
+			post.Nodes = append(post.Nodes, st.Post)
+			b.edge(post, head)
+		}
+		b.edge(b.cur, head)
+		if st.Cond != nil {
+			head.Nodes = append(head.Nodes, st.Cond)
+			b.edge(head, after) // condition false exits the loop
+		}
+		// A `for {}` with no condition has no head→after edge: the only way
+		// out is break/return inside the body.
+		body := b.newBlock()
+		b.edge(head, body)
+		b.scopes = append(b.scopes, cfgScope{label: label, breakTo: after, continueTo: post})
+		b.cur = body
+		b.stmts(st.Body.List, "")
+		b.scopes = b.scopes[:len(b.scopes)-1]
+		b.edge(b.cur, post)
+		b.cur = after
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		head.Nodes = append(head.Nodes, st.X)
+		after := b.newBlock()
+		b.edge(b.cur, head)
+		// Ranges terminate (a channel range on close), so the head always
+		// has the exit edge.
+		b.edge(head, after)
+		body := b.newBlock()
+		b.edge(head, body)
+		b.scopes = append(b.scopes, cfgScope{label: label, breakTo: after, continueTo: head})
+		b.cur = body
+		b.stmts(st.Body.List, "")
+		b.scopes = b.scopes[:len(b.scopes)-1]
+		b.edge(b.cur, head)
+		b.cur = after
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var init ast.Stmt
+		var clauses []ast.Stmt
+		switch sw := st.(type) {
+		case *ast.SwitchStmt:
+			init = sw.Init
+			if sw.Tag != nil {
+				b.cur.Nodes = append(b.cur.Nodes, sw.Tag)
+			}
+			clauses = sw.Body.List
+		case *ast.TypeSwitchStmt:
+			init = sw.Init
+			b.cur.Nodes = append(b.cur.Nodes, sw.Assign)
+			clauses = sw.Body.List
+		}
+		if init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, init)
+		}
+		entry := b.cur
+		after := b.newBlock()
+		b.scopes = append(b.scopes, cfgScope{label: label, breakTo: after})
+		hasDefault := false
+		// Build case blocks first so fallthrough can target the next one.
+		caseBlocks := make([]*CFGBlock, len(clauses))
+		for i := range clauses {
+			caseBlocks[i] = b.newBlock()
+		}
+		for i, cl := range clauses {
+			cc := cl.(*ast.CaseClause)
+			if cc.List == nil {
+				hasDefault = true
+			}
+			b.edge(entry, caseBlocks[i])
+			b.cur = caseBlocks[i]
+			var next *CFGBlock
+			if i+1 < len(caseBlocks) {
+				next = caseBlocks[i+1]
+			}
+			b.caseBody(cc.Body, after, next)
+		}
+		b.scopes = b.scopes[:len(b.scopes)-1]
+		if !hasDefault {
+			b.edge(entry, after) // no case matched
+		}
+		b.cur = after
+
+	case *ast.SelectStmt:
+		entry := b.cur
+		after := b.newBlock()
+		if len(st.Body.List) == 0 {
+			// select{} blocks forever: no successors, Exit unreachable.
+			b.cur = b.newBlock()
+			return
+		}
+		b.scopes = append(b.scopes, cfgScope{label: label, breakTo: after})
+		for _, cl := range st.Body.List {
+			cc := cl.(*ast.CommClause)
+			blk := b.newBlock()
+			b.edge(entry, blk)
+			b.cur = blk
+			if cc.Comm != nil {
+				b.cur.Nodes = append(b.cur.Nodes, cc.Comm)
+			}
+			b.stmts(cc.Body, "")
+			b.edge(b.cur, after)
+		}
+		b.scopes = b.scopes[:len(b.scopes)-1]
+		b.cur = after
+
+	case *ast.ReturnStmt:
+		b.cur.Nodes = append(b.cur.Nodes, st)
+		b.jump(b.cfg.Exit)
+
+	case *ast.BranchStmt:
+		switch st.Tok {
+		case token.BREAK:
+			if sc := b.findScope(labelName(st.Label), false); sc != nil {
+				b.jump(sc.breakTo)
+			} else {
+				b.jump(b.cfg.Exit)
+			}
+		case token.CONTINUE:
+			if sc := b.findScope(labelName(st.Label), true); sc != nil {
+				b.jump(sc.continueTo)
+			} else {
+				b.jump(b.cfg.Exit)
+			}
+		case token.GOTO:
+			// Unstructured; over-approximate as an exit so reachability
+			// claims stay sound.
+			b.jump(b.cfg.Exit)
+		case token.FALLTHROUGH:
+			// Handled in caseBody; a stray one is ignored.
+		}
+
+	case *ast.ExprStmt:
+		b.cur.Nodes = append(b.cur.Nodes, st)
+		if isPanicCall(st.X) {
+			// panic unwinds out of the function: treat as exit (sound for
+			// "can this goroutine terminate").
+			b.jump(b.cfg.Exit)
+		}
+
+	default:
+		// Declarations, assignments, sends, defers, go statements: straight
+		// line.
+		b.cur.Nodes = append(b.cur.Nodes, s)
+	}
+}
+
+// caseBody builds one switch-case body, wiring its end to after (or to the
+// next case block on fallthrough).
+func (b *cfgBuilder) caseBody(body []ast.Stmt, after, next *CFGBlock) {
+	for _, s := range body {
+		if br, ok := s.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+			if next != nil {
+				b.jump(next)
+			} else {
+				b.jump(after)
+			}
+			return
+		}
+		b.stmt(s, "")
+	}
+	b.edge(b.cur, after)
+	b.cur = b.newBlock()
+}
+
+func labelName(l *ast.Ident) string {
+	if l == nil {
+		return ""
+	}
+	return l.Name
+}
+
+// isPanicCall reports whether the expression is a direct call to the
+// predeclared panic. Purely syntactic: a local function named panic would be
+// misclassified, which only widens reachability (safe direction).
+func isPanicCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}

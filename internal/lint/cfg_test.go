@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody parses a function body from source and returns its BlockStmt.
+func parseBody(t *testing.T, body string) *ast.BlockStmt {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return file.Decls[0].(*ast.FuncDecl).Body
+}
+
+func TestCFGExitReachability(t *testing.T) {
+	cases := []struct {
+		name      string
+		body      string
+		reachable bool
+	}{
+		{"empty", ``, true},
+		{"straight line", `x := 1; _ = x`, true},
+		{"return", `return`, true},
+		{"infinite loop", `for { }`, false},
+		{"infinite loop with work", `for { work() }`, false},
+		{"loop with return", `for { if cond() { return } }`, true},
+		{"loop with break", `for { if cond() { break } }`, true},
+		{"conditional loop", `for cond() { }`, true},
+		{"three-clause loop", `for i := 0; i < 10; i++ { }`, true},
+		{"range loop", `for range xs { }`, true},
+		{"range over channel", `for v := range ch { _ = v }`, true},
+		{"empty select", `select { }`, false},
+		{"select with case", `select { case <-ch: }`, true},
+		{"select in infinite loop no exit", `for { select { case <-ch: work() } }`, false},
+		{"select in infinite loop with return", "for {\n\tselect {\n\tcase <-ch:\n\t\treturn\n\tcase <-done:\n\t}\n}", true},
+		{"labeled break from nested loop", "outer:\nfor { for { break outer } }", true},
+		{"labeled continue stays inside", "outer:\nfor { for { continue outer } }", false},
+		{"unlabeled break only exits inner", `for { for { break } }`, false},
+		{"panic terminates", `for { panic("boom") }`, true},
+		{"goto over-approximates", "for { goto done }\ndone:\nreturn", true},
+		{"switch without default falls through", `for { switch x() { case 1: continue }; break }`, true},
+		{"switch all paths loop", `for { switch x() { case 1: default: } }`, false},
+		{"fallthrough chains cases", `switch x() { case 1: fallthrough; case 2: return }`, true},
+		{"if else both return", `if cond() { return } else { return }; unreachable()`, true},
+		{"select default makes progress", `for { select { case <-ch: default: break } }`, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := BuildCFG(parseBody(t, tc.body))
+			if got := cfg.ExitReachable(); got != tc.reachable {
+				t.Errorf("ExitReachable() = %v, want %v\nbody:\n%s", got, tc.reachable, tc.body)
+			}
+		})
+	}
+}
+
+func TestCFGBlocksCoverStatements(t *testing.T) {
+	body := parseBody(t, `
+x := 1
+if x > 0 {
+	x++
+} else {
+	x--
+}
+for i := 0; i < x; i++ {
+	use(i)
+}
+return`)
+	cfg := BuildCFG(body)
+	total := 0
+	for _, b := range cfg.Blocks {
+		total += len(b.Nodes)
+	}
+	if total == 0 {
+		t.Fatal("no statements captured in any block")
+	}
+	// Entry must have successors; Exit must have none.
+	if len(cfg.Entry.Succs) == 0 {
+		t.Error("entry block has no successors")
+	}
+	if len(cfg.Exit.Succs) != 0 {
+		t.Errorf("exit block has %d successors, want 0", len(cfg.Exit.Succs))
+	}
+}

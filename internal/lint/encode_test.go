@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// encodeCorpus is a small fixed finding set covering a regular rule, a
+// pseudo-rule, and a column-less position.
+func encodeCorpus() []Finding {
+	return []Finding{
+		{Pos: token.Position{Filename: "internal/sim/sim.go", Line: 42, Column: 7},
+			Rule: "nodeterminism", Msg: "call to time.Now in a simulation package"},
+		{Pos: token.Position{Filename: "internal/node/node.go", Line: 190},
+			Rule: StaleIgnoreRule, Msg: "ignore directive for locksafe suppresses nothing"},
+	}
+}
+
+// TestSARIFGolden pins the encoder's byte output, and round-trips the
+// document through encoding/json to prove it is well-formed SARIF with the
+// findings intact.
+func TestSARIFGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, encodeCorpus()); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	golden(t, "sarif", buf.String())
+
+	var log sarifLog
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("bad envelope: version %q, %d runs", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "toposhotlint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	// Every reportable rule id, including the pseudo-rules, is in the
+	// catalogue exactly once.
+	seen := make(map[string]int)
+	for _, r := range run.Tool.Driver.Rules {
+		seen[r.ID]++
+	}
+	for _, name := range append(AnalyzerNames(), TypecheckRule, StaleIgnoreRule) {
+		if seen[name] != 1 {
+			t.Errorf("rule %s appears %d times in the catalogue", name, seen[name])
+		}
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("want 2 results, got %d", len(run.Results))
+	}
+	r0 := run.Results[0]
+	if r0.RuleID != "nodeterminism" || r0.Level != "error" {
+		t.Errorf("result 0: %+v", r0)
+	}
+	loc := r0.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/sim/sim.go" || loc.Region.StartLine != 42 || loc.Region.StartColumn != 7 {
+		t.Errorf("result 0 location: %+v", loc)
+	}
+}
+
+// TestJSONEncoder round-trips the plain JSON rendering.
+func TestJSONEncoder(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, encodeCorpus()); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	var got []jsonFinding
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("want 2 findings, got %d", len(got))
+	}
+	if got[0].File != "internal/sim/sim.go" || got[0].Line != 42 || got[0].Column != 7 || got[0].Rule != "nodeterminism" {
+		t.Errorf("finding 0: %+v", got[0])
+	}
+	// The column-less pseudo-rule finding must omit the zero column.
+	if strings.Contains(buf.String(), `"column": 0`) {
+		t.Errorf("zero column not omitted:\n%s", buf.String())
+	}
+	if got[1].Rule != StaleIgnoreRule {
+		t.Errorf("finding 1: %+v", got[1])
+	}
+}
+
+// TestEmptySARIF: a clean run still emits a valid document with the rule
+// catalogue and an empty (not null) results array.
+func TestEmptySARIF(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, nil); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if !strings.Contains(buf.String(), `"results": []`) {
+		t.Errorf("empty run must encode results as []:\n%s", buf.String())
+	}
+}

@@ -108,7 +108,7 @@ func errcheckTarget(pkg *Package, call *ast.CallExpr) (string, bool) {
 	if pathIn(path, errcheckPkgs...) {
 		// Findings inside the protocol packages themselves are exempt:
 		// encode internals legitimately thread partial results around.
-		if pathIn(pkg.Path, errcheckPkgs...) {
+		if pathIn(pkg.ScopePath(), errcheckPkgs...) {
 			return "", false
 		}
 		return lastSegment(path) + "." + obj.Name(), true

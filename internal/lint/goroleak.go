@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+var analyzerGoroLeak = &Analyzer{
+	Name:       "goroleak",
+	Doc:        "goroutines spawned in the live-node, runner, and daemon packages must have a reachable exit path; a leaked goroutine is unbounded memory under daemon traffic",
+	RunProgram: runGoroLeak,
+}
+
+// goroleakScope lists the packages whose goroutines outlive a single
+// simulation run: the live measurement node, the worker pool, and the
+// long-running daemon. Simulation code is single-threaded by design and out
+// of scope.
+var goroleakScope = []string{
+	modulePrefix + "/internal/node",
+	modulePrefix + "/internal/runner",
+	modulePrefix + "/cmd/toposhotd",
+}
+
+// runGoroLeak inspects every go statement in the scoped packages and builds
+// the CFG of the spawned body (a function literal, or the declaration a
+// named call resolves to through the call graph). A goroutine whose CFG can
+// never reach Exit — no return, no break out of its loop, no close-signal
+// range, no done-channel select arm that leaves — runs forever by
+// construction and is reported.
+//
+// The check is intra-procedural and conservative in the non-reporting
+// direction: the CFG treats panic and goto as reaching Exit, and a body
+// whose exit depends on a condition that is never true still counts as
+// reachable. Test files are exempt — a test goroutine's lifetime is bounded
+// by the test process.
+func runGoroLeak(prog *Program) []Finding {
+	var findings []Finding
+	cg := prog.CallGraph()
+	for _, pkg := range prog.Packages {
+		if !pathIn(pkg.ScopePath(), goroleakScope...) || pkg.Info == nil {
+			continue
+		}
+		for _, file := range pkg.Files {
+			if pkg.IsTestFile(file) {
+				continue
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				body, name := spawnedBody(pkg, cg, g.Call)
+				if body == nil {
+					return true
+				}
+				if !BuildCFG(body).ExitReachable() {
+					findings = append(findings, report(pkg, g, "goroleak",
+						"goroutine "+name+" has no reachable exit path; add a done/cancel signal it can return on"))
+				}
+				return true
+			})
+		}
+	}
+	return findings
+}
+
+// spawnedBody resolves the body a go statement executes, and a display name
+// for it. Calls that leave the module (stdlib, function values) resolve to
+// nil and are not checked.
+func spawnedBody(pkg *Package, cg *CallGraph, call *ast.CallExpr) (*ast.BlockStmt, string) {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return lit.Body, "func literal"
+	}
+	obj := calleeObject(pkg.Info, call)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil, ""
+	}
+	if node := cg.Node(fn); node != nil {
+		return node.Decl.Body, fn.Name()
+	}
+	return nil, ""
+}

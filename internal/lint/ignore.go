@@ -1,6 +1,8 @@
 package lint
 
 import (
+	"go/token"
+	"sort"
 	"strings"
 )
 
@@ -11,9 +13,6 @@ type ignoreKey struct {
 	rule string
 }
 
-// ignoreSet holds the parsed //lint:ignore directives of one package.
-type ignoreSet map[ignoreKey]bool
-
 // IgnorePrefix introduces a suppression directive:
 //
 //	//lint:ignore rule-id[,rule-id...] reason
@@ -21,12 +20,32 @@ type ignoreSet map[ignoreKey]bool
 // placed on the offending line or the line directly above it.
 const IgnorePrefix = "//lint:ignore"
 
-// collectIgnores parses every comment in the package for ignore directives.
+// ignoreDirective is one parsed, well-formed //lint:ignore comment. The
+// driver tracks whether it actually suppressed anything: a directive that
+// suppresses no finding has outlived the code it excused and is reported
+// under StaleIgnoreRule.
+type ignoreDirective struct {
+	pos   token.Position
+	rules []string
+	used  bool
+}
+
+// ignoreTable holds every package's parsed directives, keyed module-wide.
+// Filenames are module-root-relative and therefore unique across packages.
+type ignoreTable struct {
+	byKey      map[ignoreKey]*ignoreDirective
+	directives []*ignoreDirective // in collection order, for the stale audit
+}
+
+func newIgnoreTable() *ignoreTable {
+	return &ignoreTable{byKey: make(map[ignoreKey]*ignoreDirective)}
+}
+
+// collect parses every comment in the package for ignore directives.
 // Malformed directives (missing rule, missing reason, unknown rule) are
 // returned as findings under the typecheck pseudo-rule: a directive that
 // silently fails to parse would silently fail to suppress.
-func collectIgnores(pkg *Package) (ignoreSet, []Finding) {
-	set := make(ignoreSet)
+func (t *ignoreTable) collect(pkg *Package) []Finding {
 	var bad []Finding
 	for _, file := range pkg.Files {
 		for _, cg := range file.Comments {
@@ -34,7 +53,7 @@ func collectIgnores(pkg *Package) (ignoreSet, []Finding) {
 				if !strings.HasPrefix(c.Text, IgnorePrefix) {
 					continue
 				}
-				pos := relPosition(pkg.Fset, c.Pos())
+				pos := relPosition(pkg, c.Pos())
 				rest := strings.TrimPrefix(c.Text, IgnorePrefix)
 				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
 					// e.g. //lint:ignoreXYZ — not our directive.
@@ -64,22 +83,66 @@ func collectIgnores(pkg *Package) (ignoreSet, []Finding) {
 				if !ok {
 					continue
 				}
+				d := &ignoreDirective{pos: pos, rules: rules}
+				t.directives = append(t.directives, d)
 				// The directive suppresses findings on its own line and the
 				// line below (standalone-comment placement).
 				for _, r := range rules {
-					set[ignoreKey{pos.Filename, pos.Line, r}] = true
-					set[ignoreKey{pos.Filename, pos.Line + 1, r}] = true
+					t.byKey[ignoreKey{pos.Filename, pos.Line, r}] = d
+					t.byKey[ignoreKey{pos.Filename, pos.Line + 1, r}] = d
 				}
 			}
 		}
 	}
-	return set, bad
+	return bad
 }
 
 // matches reports whether a finding is suppressed by a directive on its line
-// (trailing comment) or the line above (standalone comment).
-func (s ignoreSet) matches(f Finding) bool {
-	return s[ignoreKey{f.Pos.Filename, f.Pos.Line, f.Rule}]
+// (trailing comment) or the line above (standalone comment), marking the
+// directive used.
+func (t *ignoreTable) matches(f Finding) bool {
+	d := t.byKey[ignoreKey{f.Pos.Filename, f.Pos.Line, f.Rule}]
+	if d == nil {
+		return false
+	}
+	d.used = true
+	return true
+}
+
+// stale reports directives that suppressed nothing. A directive is only
+// judged when every rule it names was actually run — under a -rules subset
+// an idle directive proves nothing — so the audit never false-positives on
+// partial runs.
+func (t *ignoreTable) stale(ran []*Analyzer) []Finding {
+	ranSet := make(map[string]bool, len(ran))
+	for _, a := range ran {
+		ranSet[a.Name] = true
+	}
+	var out []Finding
+	for _, d := range t.directives {
+		if d.used {
+			continue
+		}
+		judged := true
+		for _, r := range d.rules {
+			if !ranSet[r] {
+				judged = false
+				break
+			}
+		}
+		if !judged {
+			continue
+		}
+		sorted := append([]string(nil), d.rules...)
+		sort.Strings(sorted)
+		out = append(out, Finding{
+			Pos:  d.pos,
+			Rule: StaleIgnoreRule,
+			Msg: "ignore directive for " + strings.Join(sorted, ",") +
+				" suppresses nothing; the code it excused is gone — remove the directive",
+		})
+	}
+	return out
 }
 
 func quote(s string) string {

@@ -8,6 +8,15 @@
 //   - locksafe: no channel send, network write, or callback invocation while
 //     a sync.Mutex/RWMutex is held — the head-of-line-blocking shape that
 //     stalled live-node peers before PR 1.
+//   - lockorder: the module-wide mutex acquisition-order graph must be
+//     acyclic — a lock-order cycle spanning packages is a deadlock -race
+//     can only catch if both threads actually collide during a run.
+//   - goroleak: goroutines spawned in the live-node, runner, and daemon
+//     packages must have a reachable exit path (return, channel/select
+//     signal) — a leaked goroutine is unbounded memory under daemon traffic.
+//   - hotalloc: the scheduling/gossip hot paths must stay allocation-free —
+//     no closure creation, map/slice literals, unpreallocated append growth,
+//     or interface boxing where PR 4 fought allocations down to 455/op.
 //   - errcheck-wire: results of internal/rlp and internal/wire
 //     encode/decode calls and net.Conn deadline/write calls must not be
 //     discarded; a swallowed wire error silently breaks §5.2 isolation.
@@ -18,18 +27,22 @@
 //     and must be used through their methods, never nil-compared or
 //     dereferenced after registry lookup.
 //
-// The driver is dependency-free: packages are loaded with go/parser and
-// type-checked with go/types against a go/importer "source" importer, so the
-// module keeps zero third-party dependencies. Findings render as
+// The driver is dependency-free: all module packages are loaded into one
+// Program with go/parser, type-checked with go/types against a go/importer
+// "source" importer (test files included unless opted out), and analyzed in
+// parallel over internal/runner's worker pool with byte-identical ordered
+// output. Findings render as
 //
 //	file:line: [rule-id] message
 //
-// and can be suppressed in place with
+// (SARIF and JSON renderings are available for CI), and can be suppressed in
+// place with
 //
 //	//lint:ignore rule-id reason
 //
 // on the offending line or the line directly above it. The reason is
-// mandatory; an ignore directive naming an unknown rule is itself an error.
+// mandatory; an ignore directive naming an unknown rule is itself an error,
+// and a directive that no longer suppresses anything is reported as stale.
 package lint
 
 import (
@@ -53,7 +66,10 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Rule, f.Msg)
 }
 
-// Analyzer is one named rule over a type-checked package.
+// Analyzer is one named rule. Exactly one of Run and RunProgram is set:
+// Run is a per-package rule applied independently (and concurrently) to each
+// package; RunProgram is an interprocedural rule that sees the whole loaded
+// module at once (call graph, cross-package lock orders).
 type Analyzer struct {
 	// Name is the rule id used in reports and ignore directives.
 	Name string
@@ -61,6 +77,8 @@ type Analyzer struct {
 	Doc string
 	// Run reports the rule's findings for one package.
 	Run func(p *Package) []Finding
+	// RunProgram reports the rule's findings for the whole program.
+	RunProgram func(prog *Program) []Finding
 }
 
 // Analyzers returns the full suite in reporting order.
@@ -73,6 +91,9 @@ func Analyzers() []*Analyzer {
 		analyzerMetricsNilsafe,
 		analyzerTraceNilsafe,
 		analyzerTraceSpanname,
+		analyzerLockOrder,
+		analyzerGoroLeak,
+		analyzerHotAlloc,
 	}
 }
 
@@ -98,8 +119,9 @@ func ByName(name string) *Analyzer {
 
 // Options configures a Run.
 type Options struct {
-	// Dir is the working directory (the module root is discovered from it).
-	// Empty means the process working directory.
+	// Dir is the working directory (the module root is discovered from it,
+	// and package patterns resolve against it). Empty means the process
+	// working directory.
 	Dir string
 	// Patterns are package patterns: "./..." (the default when empty),
 	// "./dir/..." or "./dir".
@@ -107,6 +129,14 @@ type Options struct {
 	// Rules selects a subset of analyzers by name; empty means all. Unknown
 	// names are rejected with an error.
 	Rules []string
+	// NoTests excludes _test.go files from the load. By default test files
+	// are linted too: determinism bugs in test helpers (unseeded RNG,
+	// map-order golden construction) corrupt goldens as surely as bugs in
+	// the code under test.
+	NoTests bool
+	// Parallel is the analysis pool width; ≤ 0 means the process default
+	// (runner.Parallelism()). Output is byte-identical at any width.
+	Parallel int
 }
 
 // TypecheckRule is the pseudo-rule under which loader and type-check errors
@@ -114,74 +144,51 @@ type Options struct {
 // type-check cannot be trusted to lint clean.
 const TypecheckRule = "typecheck"
 
-// Run loads the requested packages and applies the selected analyzers.
-// Findings come back sorted by position; type-check and parse errors are
-// reported as findings under the "typecheck" pseudo-rule rather than
-// aborting the run, so a broken package degrades to a report, not a panic.
+// StaleIgnoreRule is the pseudo-rule under which unused //lint:ignore
+// directives are reported. Like typecheck it cannot be selected or
+// suppressed — a suppression must not be able to excuse itself.
+const StaleIgnoreRule = "stale-ignore"
+
+// Run loads the requested packages into one Program and applies the selected
+// analyzers. Findings come back sorted by position; type-check and parse
+// errors are reported as findings under the "typecheck" pseudo-rule rather
+// than aborting the run, so a broken package degrades to a report, not a
+// panic.
 func Run(opts Options) ([]Finding, error) {
-	analyzers := Analyzers()
-	if len(opts.Rules) > 0 {
-		analyzers = nil
-		for _, name := range opts.Rules {
-			a := ByName(name)
-			if a == nil {
-				return nil, fmt.Errorf("unknown rule %q (known: %s)", name, strings.Join(AnalyzerNames(), ", "))
-			}
-			analyzers = append(analyzers, a)
-		}
-	}
-
-	ld, err := newLoader(opts.Dir)
+	analyzers, err := selectAnalyzers(opts.Rules)
 	if err != nil {
 		return nil, err
 	}
-	patterns := opts.Patterns
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
-	}
-	paths, err := ld.expand(patterns)
+	prog, err := LoadProgram(opts)
 	if err != nil {
 		return nil, err
 	}
-
-	var findings []Finding
-	for _, path := range paths {
-		pkg, err := ld.loadModulePackage(path)
-		if err != nil {
-			// A package that cannot be loaded at all (unreadable dir, no Go
-			// files) is an environment error, not a lint finding.
-			return nil, fmt.Errorf("load %s: %w", path, err)
-		}
-		findings = append(findings, CheckPackage(pkg, analyzers)...)
-	}
-	sortFindings(findings)
-	return findings, nil
+	return CheckProgram(prog, analyzers, opts.Parallel), nil
 }
 
-// CheckPackage applies analyzers to one loaded package: type errors become
-// typecheck findings, analyzer findings pass through the package's ignore
-// directives, and malformed or unknown-rule directives are reported.
-func CheckPackage(pkg *Package, analyzers []*Analyzer) []Finding {
-	var findings []Finding
-	for _, te := range pkg.TypeErrors {
-		findings = append(findings, Finding{
-			Pos:  relPosition(pkg.Fset, te.Pos),
-			Rule: TypecheckRule,
-			Msg:  te.Msg,
-		})
+// selectAnalyzers resolves a -rules subset (empty means the full suite).
+func selectAnalyzers(rules []string) ([]*Analyzer, error) {
+	analyzers := Analyzers()
+	if len(rules) == 0 {
+		return analyzers, nil
 	}
-	ignores, bad := collectIgnores(pkg)
-	findings = append(findings, bad...)
-	for _, a := range analyzers {
-		for _, f := range a.Run(pkg) {
-			if ignores.matches(f) {
-				continue
-			}
-			findings = append(findings, f)
+	analyzers = nil
+	for _, name := range rules {
+		a := ByName(name)
+		if a == nil {
+			return nil, fmt.Errorf("unknown rule %q (known: %s)", name, strings.Join(AnalyzerNames(), ", "))
 		}
+		analyzers = append(analyzers, a)
 	}
-	sortFindings(findings)
-	return findings
+	return analyzers, nil
+}
+
+// CheckPackage applies analyzers to one loaded package by wrapping it in a
+// single-package program: type errors become typecheck findings, analyzer
+// findings pass through the package's ignore directives, and malformed,
+// unknown-rule, or stale directives are reported. Fixture tests use this.
+func CheckPackage(pkg *Package, analyzers []*Analyzer) []Finding {
+	return CheckProgram(NewProgram(pkg), analyzers, 1)
 }
 
 // Format renders findings one per line — the golden-file format.
@@ -210,13 +217,20 @@ func sortFindings(fs []Finding) {
 	})
 }
 
-// relPosition resolves a token.Pos to a position with a path relative to the
-// current working directory when possible, keeping reports stable across
-// machines.
-func relPosition(fset *token.FileSet, pos token.Pos) token.Position {
-	p := fset.Position(pos)
-	if rel, err := filepath.Rel(".", p.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-		p.Filename = rel
+// relPosition resolves a token.Pos to a position whose path is relative to
+// the package's module root — never the process working directory — so
+// findings and golden files are byte-identical no matter which subdirectory
+// the linter is invoked from. Paths the loader already recorded as
+// module-relative pass through; absolute paths (e.g. a type error positioned
+// in a GOROOT source file) are made module-relative when they fall under the
+// module root and kept absolute otherwise.
+func relPosition(pkg *Package, pos token.Pos) token.Position {
+	p := pkg.Fset.Position(pos)
+	if filepath.IsAbs(p.Filename) && pkg.ModRoot != "" {
+		if rel, err := filepath.Rel(pkg.ModRoot, p.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			p.Filename = rel
+		}
 	}
+	p.Filename = filepath.ToSlash(p.Filename)
 	return p
 }

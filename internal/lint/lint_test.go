@@ -11,17 +11,22 @@ import (
 var update = flag.Bool("update", false, "rewrite golden files")
 
 // checkFixture loads one testdata package under a claimed import path and
-// returns the formatted findings of the full suite.
+// returns the formatted findings of the full suite (external test package
+// included when the fixture has one).
 func checkFixture(t *testing.T, name, importPath string) string {
 	t.Helper()
-	pkg, err := LoadPackage(filepath.Join("testdata", "src", name), importPath)
+	pkg, ext, err := LoadPackage(filepath.Join("testdata", "src", name), importPath)
 	if err != nil {
 		t.Fatalf("load fixture %s: %v", name, err)
 	}
 	if len(pkg.TypeErrors) > 0 {
 		t.Fatalf("fixture %s does not type-check: %v", name, pkg.TypeErrors[0])
 	}
-	return Format(CheckPackage(pkg, Analyzers()))
+	pkgs := []*Package{pkg}
+	if ext != nil {
+		pkgs = append(pkgs, ext)
+	}
+	return Format(CheckProgram(NewProgram(pkgs...), Analyzers(), 1))
 }
 
 // golden compares got against testdata/<name>.golden, rewriting it under
@@ -79,6 +84,221 @@ func TestTraceLintGolden(t *testing.T) {
 	golden(t, "tracenilsafe", checkFixture(t, "tracenilsafe", "toposhot/internal/experiments/tracefixture"))
 }
 
+// TestLockOrderGolden: reversed acquisition orders — direct and through a
+// call chain — are reported as cycles; a consistent order and hand-over-hand
+// locking over one type stay silent.
+func TestLockOrderGolden(t *testing.T) {
+	golden(t, "lockorder", checkFixture(t, "lockorder", "toposhot/internal/lockfixture"))
+}
+
+// TestGoroLeakGolden: goroutines with no reachable exit fire under the
+// live-node scope; done-channel, close-signal, and run-to-completion
+// goroutines stay silent.
+func TestGoroLeakGolden(t *testing.T) {
+	golden(t, "goroleak", checkFixture(t, "goroleak", "toposhot/internal/node/gorofixture"))
+}
+
+// TestHotAllocGolden: closures, map/slice literals, growing appends, and
+// interface boxing fire inside delivery-path functions; pooled idioms and
+// non-hot functions stay silent.
+func TestHotAllocGolden(t *testing.T) {
+	golden(t, "hotalloc", checkFixture(t, "hotalloc", "toposhot/internal/ethsim/allocfixture"))
+}
+
+// TestHotAllocRegression: seeding a closure-per-message send into a gossip
+// dispatch function shaped like ethsim's must fire the rule — the guard
+// against quietly reverting the allocation-free scheduling API.
+func TestHotAllocRegression(t *testing.T) {
+	got := checkFixture(t, "hotalloc_regress", "toposhot/internal/ethsim/regress")
+	if !strings.Contains(got, "[hotalloc]") || !strings.Contains(got, "closure") {
+		t.Errorf("closure-per-message dispatch did not fire hotalloc:\n%s", got)
+	}
+}
+
+// TestStaleIgnore: a directive still suppressing a finding is silent; one
+// whose finding is gone is reported under stale-ignore.
+func TestStaleIgnore(t *testing.T) {
+	got := checkFixture(t, "staleignore", "toposhot/internal/sim/stalefixture")
+	golden(t, "staleignore", got)
+	if n := strings.Count(got, "["+StaleIgnoreRule+"]"); n != 1 {
+		t.Errorf("want exactly 1 stale-ignore finding, got %d:\n%s", n, got)
+	}
+	if strings.Contains(got, "[nodeterminism]") {
+		t.Errorf("used directive failed to suppress:\n%s", got)
+	}
+}
+
+// TestParallelEquivalence: the driver's output is byte-identical at any pool
+// width. The program combines every firing fixture so the equivalence is
+// exercised on a finding-heavy merge, not an empty one.
+func TestParallelEquivalence(t *testing.T) {
+	fixtures := []struct{ name, path string }{
+		{"nodeterminism", "toposhot/internal/core/fixture"},
+		{"lockorder", "toposhot/internal/lockfixture"},
+		{"goroleak", "toposhot/internal/node/gorofixture"},
+		{"hotalloc", "toposhot/internal/ethsim/allocfixture"},
+	}
+	var pkgs []*Package
+	for _, f := range fixtures {
+		pkg, ext, err := LoadPackage(filepath.Join("testdata", "src", f.name), f.path)
+		if err != nil {
+			t.Fatalf("load %s: %v", f.name, err)
+		}
+		pkgs = append(pkgs, pkg)
+		if ext != nil {
+			pkgs = append(pkgs, ext)
+		}
+	}
+	serial := Format(CheckProgram(NewProgram(pkgs...), Analyzers(), 1))
+	if serial == "" {
+		t.Fatal("equivalence corpus produced no findings; the test is vacuous")
+	}
+	for _, width := range []int{2, 4, 8, 16} {
+		got := Format(CheckProgram(NewProgram(pkgs...), Analyzers(), width))
+		if got != serial {
+			t.Errorf("width %d differs from serial:\n--- serial ---\n%s--- width %d ---\n%s",
+				width, serial, width, got)
+		}
+	}
+}
+
+// writeTree lays out a file tree under a fresh temp dir.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, content := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestNoTestsOption: by default _test.go files (in-package and external) are
+// linted; NoTests drops them from the load entirely.
+func TestNoTestsOption(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod":                     "module toposhot\n\ngo 1.22\n",
+		"internal/sim/x/x.go":        "package x\n\nfunc Ok() int { return 1 }\n",
+		"internal/sim/x/x_test.go":   "package x\n\nimport \"time\"\n\nfunc helper() time.Time { return time.Now() }\n",
+		"internal/sim/x/ext_test.go": "package x_test\n\nimport \"time\"\n\nvar T = time.Now()\n",
+	})
+	withTests, err := Run(Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("run with tests: %v", err)
+	}
+	if n := len(withTests); n != 2 {
+		t.Fatalf("want 2 findings (in-package + external test), got %d:\n%s", n, Format(withTests))
+	}
+	for _, f := range withTests {
+		if f.Rule != "nodeterminism" {
+			t.Errorf("unexpected rule %s: %s", f.Rule, f)
+		}
+	}
+	without, err := Run(Options{Dir: dir, NoTests: true})
+	if err != nil {
+		t.Fatalf("run without tests: %v", err)
+	}
+	if len(without) != 0 {
+		t.Errorf("NoTests run should be clean, got:\n%s", Format(without))
+	}
+}
+
+// TestLoaderErrorPaths: broken inputs degrade to typecheck findings — never
+// a panic, never an aborted run — and analyzers tolerate the partial type
+// information that results.
+func TestLoaderErrorPaths(t *testing.T) {
+	cases := []struct {
+		name     string
+		files    map[string]string
+		wantMsg  string // substring of a typecheck finding
+		wantAlso string // substring of an analyzer finding that must survive
+		wantErr  string // substring of the returned error (load-level failures)
+	}{
+		{
+			name: "syntax error",
+			files: map[string]string{
+				"go.mod":      "module toposhot\n\ngo 1.22\n",
+				"bad/bad.go":  "package bad\n\nfunc broken( {\n",
+				"bad/good.go": "package bad\n\nfunc Fine() {}\n",
+			},
+			wantMsg: "expected",
+		},
+		{
+			name: "type error",
+			files: map[string]string{
+				"go.mod":   "module toposhot\n\ngo 1.22\n",
+				"bad/t.go": "package bad\n\nfunc f() int { return undefinedSymbol }\n",
+			},
+			wantMsg: "undefinedSymbol",
+		},
+		{
+			name: "unresolvable import",
+			files: map[string]string{
+				"go.mod":   "module toposhot\n\ngo 1.22\n",
+				"bad/i.go": "package bad\n\nimport \"toposhot/internal/nosuchpkg\"\n\nvar _ = nosuchpkg.X\n",
+			},
+			wantMsg: "nosuchpkg",
+		},
+		{
+			name: "hot-path package with broken types still analyzed",
+			files: map[string]string{
+				"go.mod": "module toposhot\n\ngo 1.22\n",
+				"internal/sim/s.go": "package sim\n\n" +
+					"func Step() { bad() }\n" +
+					"func schedule(m map[int]int) {\n\tfor k := range m {\n\t\t_ = k\n\t}\n}\n",
+			},
+			// The undefined call is a typecheck finding; the map iteration in a
+			// hot function must still be reported off the surviving type info.
+			wantMsg:  "bad",
+			wantAlso: "map iteration",
+		},
+		{
+			name: "no go files",
+			files: map[string]string{
+				"go.mod":         "module toposhot\n\ngo 1.22\n",
+				"empty/note.txt": "nothing to lint\n",
+			},
+			wantErr: "no Go files",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := writeTree(t, tc.files)
+			patterns := []string(nil)
+			if tc.wantErr != "" {
+				patterns = []string{"./empty"}
+			}
+			findings, err := Run(Options{Dir: dir, Patterns: patterns})
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("want error containing %q, got %v", tc.wantErr, err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			out := Format(findings)
+			if !strings.Contains(out, tc.wantMsg) {
+				t.Errorf("findings missing %q:\n%s", tc.wantMsg, out)
+			}
+			if tc.wantAlso != "" && !strings.Contains(out, tc.wantAlso) {
+				t.Errorf("analyzer finding %q missing on the broken package:\n%s", tc.wantAlso, out)
+			}
+			for _, f := range findings {
+				if f.Rule != TypecheckRule && f.Rule != "nodeterminism" {
+					t.Errorf("unexpected rule %s: %s", f.Rule, f)
+				}
+			}
+		})
+	}
+}
+
 func TestIgnoreDirectives(t *testing.T) {
 	got := checkFixture(t, "ignore", "toposhot/internal/sim/fixture")
 	golden(t, "ignore", got)
@@ -107,7 +327,7 @@ func TestUnknownRuleRejected(t *testing.T) {
 // TestBrokenPackageReports: a package with a type error degrades to a
 // typecheck finding, not a panic or an aborted run.
 func TestBrokenPackageReports(t *testing.T) {
-	pkg, err := LoadPackage(filepath.Join("testdata", "src", "broken"), "toposhot/internal/brokenfixture")
+	pkg, _, err := LoadPackage(filepath.Join("testdata", "src", "broken"), "toposhot/internal/brokenfixture")
 	if err != nil {
 		t.Fatalf("load: %v", err)
 	}

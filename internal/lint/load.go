@@ -17,10 +17,22 @@ import (
 // Package is one loaded, type-checked package handed to analyzers.
 type Package struct {
 	// Path is the package's import path (e.g. "toposhot/internal/node").
+	// External test packages ("package foo_test") carry the synthetic path
+	// "<path> [test]"; rule scoping uses ScopePath, which strips the marker.
 	Path string
+	// ForTest, when non-empty, marks an external test package and names the
+	// import path of the package under test.
+	ForTest string
+	// ModRoot is the absolute module root directory the package was loaded
+	// from. Finding positions resolve against it, never against the process
+	// working directory, so reports and golden files are byte-identical no
+	// matter which subdirectory the linter is invoked from.
+	ModRoot string
 	// Fset positions every file in the package.
 	Fset *token.FileSet
-	// Files are the parsed (non-test) source files, sorted by file name.
+	// Files are the parsed source files, sorted by file name. Test files are
+	// included unless the load opted out (Options.NoTests); IsTestFile tells
+	// them apart.
 	Files []*ast.File
 	// Types is the type-checked package object.
 	Types *types.Package
@@ -31,19 +43,42 @@ type Package struct {
 	TypeErrors []types.Error
 }
 
+// ScopePath is the import path rules scope on: for an external test package
+// it is the path of the package under test, so path-scoped rules (hot-path
+// bans, determinism scope) apply to a package's external tests too.
+func (p *Package) ScopePath() string {
+	if p.ForTest != "" {
+		return p.ForTest
+	}
+	return p.Path
+}
+
+// IsTestFile reports whether the file is a _test.go source.
+func (p *Package) IsTestFile(f *ast.File) bool {
+	return strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// IsTestPos reports whether the position falls in a _test.go source.
+func (p *Package) IsTestPos(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
 // loader resolves and type-checks module packages, delegating everything
 // outside the module to a go/importer "source" importer so the suite works
 // with nothing but a GOROOT source tree.
 type loader struct {
 	fset    *token.FileSet
+	baseDir string // absolute directory patterns resolve against
 	modRoot string
 	modPath string
+	tests   bool // parse _test.go files too
 	pkgs    map[string]*Package
+	extPkgs map[string]*Package // external test package by subject path
 	loading map[string]bool
 	std     types.Importer
 }
 
-func newLoader(dir string) (*loader, error) {
+func newLoader(dir string, tests bool) (*loader, error) {
 	if dir == "" {
 		dir = "."
 	}
@@ -66,9 +101,12 @@ func newLoader(dir string) (*loader, error) {
 	fset := token.NewFileSet()
 	return &loader{
 		fset:    fset,
+		baseDir: abs,
 		modRoot: modRoot,
 		modPath: modPath,
+		tests:   tests,
 		pkgs:    make(map[string]*Package),
+		extPkgs: make(map[string]*Package),
 		loading: make(map[string]bool),
 		std:     importer.ForCompiler(fset, "source", nil),
 	}, nil
@@ -104,7 +142,9 @@ func readModulePath(gomod string) (string, error) {
 }
 
 // expand resolves package patterns ("./...", "./dir/...", "./dir") to a
-// sorted list of module import paths.
+// sorted list of module import paths. Patterns resolve against the loader's
+// base directory (where the linter was invoked), matching the go tool's
+// convention, while reported paths stay module-root-relative.
 func (l *loader) expand(patterns []string) ([]string, error) {
 	seen := make(map[string]bool)
 	var out []string
@@ -127,9 +167,9 @@ func (l *loader) expand(patterns []string) ([]string, error) {
 		if pat == "" || pat == "." {
 			pat = "."
 		}
-		root := filepath.Join(l.modRoot, filepath.FromSlash(pat))
+		root := filepath.Join(l.baseDir, filepath.FromSlash(pat))
 		if !recursive {
-			if !hasGoFiles(root) {
+			if !hasGoFiles(root, l.tests) {
 				return nil, fmt.Errorf("no Go files in %s", root)
 			}
 			add(l.importPathFor(root))
@@ -146,7 +186,7 @@ func (l *loader) expand(patterns []string) ([]string, error) {
 			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
 				return filepath.SkipDir
 			}
-			if hasGoFiles(path) {
+			if hasGoFiles(path, l.tests) {
 				add(l.importPathFor(path))
 			}
 			return nil
@@ -168,24 +208,32 @@ func (l *loader) importPathFor(dir string) string {
 	return l.modPath + "/" + filepath.ToSlash(rel)
 }
 
-// hasGoFiles reports whether dir holds at least one non-test Go file.
-func hasGoFiles(dir string) bool {
+// hasGoFiles reports whether dir holds at least one candidate Go file.
+func hasGoFiles(dir string, tests bool) bool {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return false
 	}
 	for _, e := range entries {
-		if sourceFile(e) {
+		if sourceFile(e, tests) {
 			return true
 		}
 	}
 	return false
 }
 
-func sourceFile(e os.DirEntry) bool {
+// sourceFile reports whether the entry is a lintable Go file. With tests
+// false, _test.go files are excluded (the -no-tests opt-out).
+func sourceFile(e os.DirEntry, tests bool) bool {
 	name := e.Name()
-	return !e.IsDir() && strings.HasSuffix(name, ".go") &&
-		!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_")
+	if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+		strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+		return false
+	}
+	if !tests && strings.HasSuffix(name, "_test.go") {
+		return false
+	}
+	return true
 }
 
 // Import implements types.Importer: module-internal paths load from source
@@ -206,6 +254,9 @@ func (l *loader) Import(path string) (*types.Package, error) {
 }
 
 // loadModulePackage parses and type-checks one module package (memoized).
+// Note: a package loaded as a dependency of another package includes its
+// in-package test files when the loader lints tests — harmless extra symbols
+// for the importer, and it keeps every package type-checked exactly once.
 func (l *loader) loadModulePackage(path string) (*Package, error) {
 	if p, ok := l.pkgs[path]; ok {
 		return p, nil
@@ -218,42 +269,59 @@ func (l *loader) loadModulePackage(path string) (*Package, error) {
 
 	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modPath), "/")
 	dir := filepath.Join(l.modRoot, filepath.FromSlash(rel))
-	p, err := l.checkDir(dir, path)
+	p, ext, err := l.checkDir(dir, path)
 	if err != nil {
 		return nil, err
 	}
+	// Memoize the base package before type-checking its external tests: the
+	// test files import it, and the importer must find this result rather
+	// than tripping the in-progress cycle guard.
 	l.pkgs[path] = p
+	if ext != nil {
+		l.typecheck(ext, path+"_test")
+		l.extPkgs[path] = ext
+	}
 	return p, nil
 }
 
-// checkDir parses every non-test Go file in dir and type-checks the result
-// under the given import path. Parse and type errors do not abort: they are
-// recorded on the package for reporting, and analysis proceeds on whatever
-// information survived.
-func (l *loader) checkDir(dir, path string) (*Package, error) {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
+// loadExternalTest returns the external test package ("package foo_test") of
+// a module package, loading the subject first so the test files' import of it
+// resolves to the memoized result. Nil when the directory has none.
+func (l *loader) loadExternalTest(path string) (*Package, error) {
+	if !l.tests {
+		return nil, nil
+	}
+	if _, err := l.loadModulePackage(path); err != nil {
 		return nil, err
 	}
-	pkg := &Package{Path: path, Fset: l.fset}
+	return l.extPkgs[path], nil
+}
+
+// parseDir parses the candidate files of dir, splitting them into the base
+// package's files and external-test ("package foo_test") files.
+func (l *loader) parseDir(dir string, pkg *Package) (base, external []*ast.File, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
 	var names []string
 	for _, e := range entries {
-		if sourceFile(e) {
+		if sourceFile(e, l.tests) {
 			names = append(names, e.Name())
 		}
 	}
 	if len(names) == 0 {
-		return nil, fmt.Errorf("no Go files in %s", dir)
+		return nil, nil, fmt.Errorf("no Go files in %s", dir)
 	}
 	sort.Strings(names)
 	displayDir := dir
-	if rel, rerr := filepath.Rel(l.modRoot, dir); rerr == nil {
+	if rel, rerr := filepath.Rel(l.modRoot, dir); rerr == nil && !strings.HasPrefix(rel, "..") {
 		displayDir = rel
 	}
 	for _, name := range names {
 		src, err := os.ReadFile(filepath.Join(dir, name))
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		file, err := parser.ParseFile(l.fset, filepath.ToSlash(filepath.Join(displayDir, name)), src, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
@@ -266,9 +334,41 @@ func (l *loader) checkDir(dir, path string) (*Package, error) {
 				continue
 			}
 		}
-		pkg.Files = append(pkg.Files, file)
+		if strings.HasSuffix(name, "_test.go") && file.Name != nil && strings.HasSuffix(file.Name.Name, "_test") {
+			external = append(external, file)
+			continue
+		}
+		base = append(base, file)
 	}
+	return base, external, nil
+}
 
+// checkDir parses every candidate Go file in dir and type-checks the base
+// package under the given import path. In-package test files join the base
+// package; "package foo_test" files come back as a second, parsed but NOT
+// yet type-checked external test package — the caller must memoize the base
+// first (its tests import it) and then run typecheck on the external one.
+// Parse and type errors do not abort: they are recorded on the package for
+// reporting, and analysis proceeds on whatever information survived.
+func (l *loader) checkDir(dir, path string) (base, externalTest *Package, err error) {
+	pkg := &Package{Path: path, Fset: l.fset, ModRoot: l.modRoot}
+	baseFiles, extFiles, err := l.parseDir(dir, pkg)
+	if err != nil {
+		return nil, nil, err
+	}
+	pkg.Files = baseFiles
+	l.typecheck(pkg, path)
+
+	if len(extFiles) == 0 {
+		return pkg, nil, nil
+	}
+	ext := &Package{Path: path + " [test]", ForTest: path, Fset: l.fset, ModRoot: l.modRoot}
+	ext.Files = extFiles
+	return pkg, ext, nil
+}
+
+// typecheck runs go/types over the package's files in place.
+func (l *loader) typecheck(pkg *Package, checkPath string) {
 	pkg.Info = &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
 		Defs:       make(map[*ast.Ident]types.Object),
@@ -286,24 +386,32 @@ func (l *loader) checkDir(dir, path string) (*Package, error) {
 	// Check records its result even when errors occurred; the error return
 	// duplicates the first collected diagnostic, so it is deliberately
 	// dropped here — TypeErrors carries the full list.
-	tpkg, _ := conf.Check(path, l.fset, pkg.Files, pkg.Info)
+	tpkg, _ := conf.Check(checkPath, l.fset, pkg.Files, pkg.Info)
 	pkg.Types = tpkg
-	return pkg, nil
 }
 
 // LoadPackage parses and type-checks the single package in dir under the
-// claimed import path. It is the entry point tests use to load fixture
-// packages from testdata (which the normal pattern walk skips). The claimed
-// path controls path-scoped rules, so a fixture can opt into, say, the
-// simulation-package determinism checks.
-func LoadPackage(dir, importPath string) (*Package, error) {
+// claimed import path, test files included. It is the entry point tests use
+// to load fixture packages from testdata (which the normal pattern walk
+// skips). The claimed path controls path-scoped rules, so a fixture can opt
+// into, say, the simulation-package determinism checks. The second result is
+// the directory's external test package, or nil.
+func LoadPackage(dir, importPath string) (*Package, *Package, error) {
 	abs, err := filepath.Abs(dir)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	ld, err := newLoader(abs)
+	ld, err := newLoader(abs, true)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return ld.checkDir(abs, importPath)
+	base, ext, err := ld.checkDir(abs, importPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	if ext != nil {
+		ld.pkgs[importPath] = base
+		ld.typecheck(ext, importPath+"_test")
+	}
+	return base, ext, nil
 }

@@ -1,0 +1,460 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+var analyzerLockOrder = &Analyzer{
+	Name:       "lockorder",
+	Doc:        "the module-wide mutex acquisition-order graph must be acyclic; a cross-package lock-order cycle is a deadlock -race only catches when two threads actually collide",
+	RunProgram: runLockOrder,
+}
+
+// lockAcq is one lock acquisition recorded during the per-function scan.
+type lockAcq struct {
+	key string
+	pkg *Package
+	pos ast.Node
+}
+
+// lockCall is a call made while locks were held.
+type lockCall struct {
+	held []string // sorted snapshot of held lock keys
+	call *ast.CallExpr
+	pkg  *Package
+}
+
+// lockSummary is one function's contribution to the order graph.
+type lockSummary struct {
+	// acquires are the locks this function acquires directly.
+	acquires map[string]bool
+	// edges are direct nested acquisitions: to was locked while from held.
+	edges []lockOrderEdge
+	// calls are the call sites executed under at least one held lock.
+	calls []lockCall
+}
+
+// lockOrderEdge is one observed "from held when to acquired" pair with the
+// site that witnessed it.
+type lockOrderEdge struct {
+	from, to string
+	pkg      *Package
+	site     ast.Node
+}
+
+// runLockOrder builds per-function acquisition summaries, propagates
+// may-acquire sets over the call graph to a fixpoint, materializes the
+// module-wide lock-order graph, and reports every acquisition edge that
+// participates in a cycle.
+//
+// Lock identity is the abstract "declared lock", not the runtime instance:
+// field locks key as pkg.Type.field, package-level locks as pkg.var, locals
+// as pkg.func.name. Two instances of the same struct therefore share a key —
+// and self-edges (same key acquired nested) are deliberately not reported,
+// since hand-over-hand locking over sibling instances is legitimate under an
+// instance-level order this abstraction cannot see. Calls made via go/defer
+// statements do not order their locks after the caller's held set.
+func runLockOrder(prog *Program) []Finding {
+	cg := prog.CallGraph()
+
+	summaries := make(map[*CGNode]*lockSummary)
+	for _, n := range cg.Nodes() {
+		summaries[n] = scanLockOrder(n)
+	}
+
+	// mayAcquire fixpoint: a function may acquire what it locks directly and
+	// anything its callees may acquire.
+	may := make(map[*CGNode]map[string]bool, len(summaries))
+	for n, s := range summaries {
+		set := make(map[string]bool, len(s.acquires))
+		for k := range s.acquires {
+			set[k] = true
+		}
+		may[n] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range cg.Nodes() {
+			set := may[n]
+			for _, c := range n.Callees() {
+				for k := range may[c] {
+					if !set[k] {
+						set[k] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Materialize edges: direct nested acquisitions, plus held-set × callee
+	// may-acquire at every call-under-lock.
+	type edgeKey struct{ from, to string }
+	edges := make(map[edgeKey]lockOrderEdge)
+	addEdge := func(e lockOrderEdge) {
+		if e.from == e.to {
+			return
+		}
+		k := edgeKey{e.from, e.to}
+		prev, ok := edges[k]
+		if !ok || before(e, prev) {
+			edges[k] = e
+		}
+	}
+	for _, n := range cg.Nodes() {
+		s := summaries[n]
+		for _, e := range s.edges {
+			addEdge(e)
+		}
+		for _, lc := range s.calls {
+			for _, target := range cg.Resolve(lc.pkg, lc.call) {
+				for to := range may[target] {
+					for _, from := range lc.held {
+						addEdge(lockOrderEdge{from: from, to: to, pkg: lc.pkg, site: lc.call})
+					}
+				}
+			}
+		}
+	}
+
+	// Cycle detection: an edge is part of a cycle iff its endpoints are in
+	// the same strongly connected component.
+	adj := make(map[string][]string)
+	for k := range edges {
+		adj[k.from] = append(adj[k.from], k.to)
+	}
+	scc := stronglyConnected(adj)
+
+	var findings []Finding
+	keys := make([]edgeKey, 0, len(edges))
+	for k := range edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].from != keys[j].from {
+			return keys[i].from < keys[j].from
+		}
+		return keys[i].to < keys[j].to
+	})
+	for _, k := range keys {
+		cf, okF := scc[k.from]
+		ct, okT := scc[k.to]
+		if !okF || !okT || cf != ct {
+			continue
+		}
+		members := sccMembers(scc, cf)
+		e := edges[k]
+		findings = append(findings, report(e.pkg, e.site, "lockorder",
+			"acquires "+displayLock(k.to)+" while "+displayLock(k.from)+
+				" is held, completing a lock-order cycle among "+members+
+				"; pick one global acquisition order"))
+	}
+	return findings
+}
+
+// before orders two witnesses of the same edge so the reported site is
+// deterministic regardless of summary iteration order.
+func before(a, b lockOrderEdge) bool {
+	pa := relPosition(a.pkg, a.site.Pos())
+	pb := relPosition(b.pkg, b.site.Pos())
+	if pa.Filename != pb.Filename {
+		return pa.Filename < pb.Filename
+	}
+	return pa.Line < pb.Line
+}
+
+// displayLock strips the module prefix from a lock key for readable reports.
+func displayLock(key string) string {
+	return strings.TrimPrefix(key, modulePrefix+"/")
+}
+
+// sccMembers renders the sorted members of one component.
+func sccMembers(scc map[string]int, comp int) string {
+	var members []string
+	for k, c := range scc {
+		if c == comp {
+			members = append(members, displayLock(k))
+		}
+	}
+	sort.Strings(members)
+	return strings.Join(members, ", ")
+}
+
+// stronglyConnected assigns a component id to every node that is in a
+// non-trivial SCC or has a self-loop; nodes in trivial singleton components
+// are omitted. Iterative Tarjan with deterministic root and neighbor order.
+func stronglyConnected(adj map[string][]string) map[string]int {
+	nodes := make([]string, 0, len(adj))
+	seen := make(map[string]bool)
+	for from, tos := range adj {
+		if !seen[from] {
+			seen[from] = true
+			nodes = append(nodes, from)
+		}
+		for _, to := range tos {
+			if !seen[to] {
+				seen[to] = true
+				nodes = append(nodes, to)
+			}
+		}
+	}
+	sort.Strings(nodes)
+	for _, tos := range adj {
+		sort.Strings(tos)
+	}
+
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	comp := make(map[string]int)
+	next, nComp := 0, 0
+
+	var strong func(v string)
+	strong = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, ok := index[w]; !ok {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] {
+				if index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+		}
+		if low[v] == index[v] {
+			var members []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				members = append(members, w)
+				if w == v {
+					break
+				}
+			}
+			// Only keep components that actually contain a cycle.
+			if len(members) > 1 {
+				for _, m := range members {
+					comp[m] = nComp
+				}
+				nComp++
+			}
+		}
+	}
+	for _, v := range nodes {
+		if _, ok := index[v]; !ok {
+			strong(v)
+		}
+	}
+	return comp
+}
+
+// scanLockOrder walks one function body linearly, tracking the held set the
+// way locksafe does (nested blocks copy the set; deferred unlocks keep the
+// lock held), and records acquisitions, nested-acquisition edges, and calls
+// made under a lock.
+func scanLockOrder(n *CGNode) *lockSummary {
+	s := &lockSummary{acquires: make(map[string]bool)}
+	sc := &lockOrderScan{node: n, sum: s}
+	sc.block(n.Decl.Body, map[string]bool{})
+	return s
+}
+
+type lockOrderScan struct {
+	node *CGNode
+	sum  *lockSummary
+}
+
+func (ls *lockOrderScan) block(b *ast.BlockStmt, held map[string]bool) {
+	for _, stmt := range b.List {
+		ls.stmt(stmt, held)
+	}
+}
+
+func (ls *lockOrderScan) stmt(stmt ast.Stmt, held map[string]bool) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if key, isLock, locks := ls.lockOp(call); isLock {
+				if locks {
+					ls.acquire(key, call, held)
+					held[key] = true
+				} else {
+					delete(held, key)
+				}
+				return
+			}
+		}
+		ls.scan(s, held)
+	case *ast.DeferStmt:
+		if _, isLock, locks := ls.lockOp(s.Call); isLock && !locks {
+			return // defer mu.Unlock(): held to function end, as recorded
+		}
+		// Deferred and spawned calls run outside this acquisition context;
+		// their own locks are not ordered after the held set.
+	case *ast.GoStmt:
+	case *ast.BlockStmt:
+		ls.block(s, copyHeld(held))
+	case *ast.IfStmt:
+		if s.Init != nil {
+			ls.stmt(s.Init, held)
+		}
+		ls.scan(s.Cond, held)
+		ls.block(s.Body, copyHeld(held))
+		if s.Else != nil {
+			ls.stmt(s.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			ls.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			ls.scan(s.Cond, held)
+		}
+		inner := copyHeld(held)
+		if s.Post != nil {
+			ls.stmt(s.Post, inner)
+		}
+		ls.block(s.Body, inner)
+	case *ast.RangeStmt:
+		ls.scan(s.X, held)
+		ls.block(s.Body, copyHeld(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			ls.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			ls.scan(s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				inner := copyHeld(held)
+				for _, st := range cc.Body {
+					ls.stmt(st, inner)
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			ls.stmt(s.Init, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				inner := copyHeld(held)
+				for _, st := range cc.Body {
+					ls.stmt(st, inner)
+				}
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				inner := copyHeld(held)
+				if cc.Comm != nil {
+					ls.stmt(cc.Comm, inner)
+				}
+				for _, st := range cc.Body {
+					ls.stmt(st, inner)
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		ls.stmt(s.Stmt, held)
+	default:
+		ls.scan(stmt, held)
+	}
+}
+
+// acquire records one Lock/RLock: the direct acquisition, and an edge from
+// every currently held lock.
+func (ls *lockOrderScan) acquire(key string, site ast.Node, held map[string]bool) {
+	ls.sum.acquires[key] = true
+	for from := range held {
+		ls.sum.edges = append(ls.sum.edges, lockOrderEdge{
+			from: from, to: key, pkg: ls.node.Pkg, site: site,
+		})
+	}
+}
+
+// scan records in-module calls made while locks are held. Function literals
+// are skipped — they run later, outside this acquisition context, and their
+// own bodies are not separate call-graph nodes (their acquires already fold
+// into the enclosing declaration's summary via scanLockOrder's linear walk —
+// except that here the walk does not descend, keeping the held-set honest).
+func (ls *lockOrderScan) scan(node ast.Node, held map[string]bool) {
+	if len(held) == 0 {
+		return
+	}
+	snapshot := make([]string, 0, len(held))
+	for k := range held {
+		snapshot = append(snapshot, k)
+	}
+	sort.Strings(snapshot)
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if _, isLock, _ := ls.lockOp(x); isLock {
+				return true
+			}
+			ls.sum.calls = append(ls.sum.calls, lockCall{held: snapshot, call: x, pkg: ls.node.Pkg})
+		}
+		return true
+	})
+}
+
+// lockOp classifies a call as a sync.Mutex/RWMutex operation and derives the
+// abstract lock key.
+func (ls *lockOrderScan) lockOp(call *ast.CallExpr) (key string, isLock, locks bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	obj := calleeObject(ls.node.Pkg.Info, call)
+	if objectPkgPath(obj) != "sync" {
+		return "", false, false
+	}
+	switch obj.Name() {
+	case "Lock", "RLock":
+		return ls.lockKey(sel.X), true, true
+	case "Unlock", "RUnlock":
+		return ls.lockKey(sel.X), true, false
+	}
+	return "", false, false
+}
+
+// lockKey derives the abstract identity of a mutex from its receiver
+// expression: struct-field locks key by owning type and field name, package
+// level locks by package and variable name, everything else (locals,
+// parameters) by enclosing function and expression text.
+func (ls *lockOrderScan) lockKey(e ast.Expr) string {
+	info := ls.node.Pkg.Info
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		if tv, ok := info.Types[x.X]; ok {
+			if named := recvNamed(tv.Type); named != nil && named.Obj().Pkg() != nil {
+				return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + x.Sel.Name
+			}
+		}
+	case *ast.Ident:
+		if obj, ok := info.Uses[x].(*types.Var); ok && obj.Pkg() != nil {
+			if obj.Parent() == obj.Pkg().Scope() {
+				return obj.Pkg().Path() + "." + x.Name
+			}
+		}
+	}
+	return ls.node.Key() + "." + types.ExprString(e)
+}

@@ -21,7 +21,7 @@ var instrumentTypes = map[string]bool{
 }
 
 func runMetricsNilsafe(pkg *Package) []Finding {
-	if pkg.Path == metricsPkg {
+	if pkg.ScopePath() == metricsPkg {
 		return nil // the package that implements nil-safety may inspect nil
 	}
 	var findings []Finding

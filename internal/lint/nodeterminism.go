@@ -72,7 +72,7 @@ var analyzerNoDeterminism = &Analyzer{
 }
 
 func runNoDeterminism(pkg *Package) []Finding {
-	if !pathIn(pkg.Path, nodeterminismScope...) {
+	if !pathIn(pkg.ScopePath(), nodeterminismScope...) {
 		return nil
 	}
 	var findings []Finding
@@ -110,13 +110,18 @@ func runNoDeterminism(pkg *Package) []Finding {
 // hotPathFindings enforces the hot-path rules in heapBanScope packages:
 // no container/heap anywhere, and no map iteration inside internal/sim
 // (the whole package is scheduler hot path) or inside the named ethsim
-// delivery-path functions.
+// delivery-path functions. Test files are exempt — test code never runs on
+// the hot path, and the queue fuzzer deliberately pins pop order against a
+// container/heap reference.
 func hotPathFindings(pkg *Package) []Finding {
-	if !pathIn(pkg.Path, heapBanScope...) {
+	if !pathIn(pkg.ScopePath(), heapBanScope...) {
 		return nil
 	}
 	var findings []Finding
 	for _, file := range pkg.Files {
+		if pkg.IsTestFile(file) {
+			continue
+		}
 		for _, imp := range file.Imports {
 			if strings.Trim(imp.Path.Value, `"`) == "container/heap" {
 				findings = append(findings, report(pkg, imp, "nodeterminism",
@@ -124,8 +129,11 @@ func hotPathFindings(pkg *Package) []Finding {
 			}
 		}
 	}
-	wholePackage := pathIn(pkg.Path, modulePrefix+"/internal/sim")
+	wholePackage := pathIn(pkg.ScopePath(), modulePrefix+"/internal/sim")
 	for _, file := range pkg.Files {
+		if pkg.IsTestFile(file) {
+			continue
+		}
 		for _, decl := range file.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
 			if !ok || fn.Body == nil {

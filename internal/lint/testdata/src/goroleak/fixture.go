@@ -1,0 +1,72 @@
+// Package fixture exercises the goroleak analyzer: goroutines with no
+// reachable exit path fire; goroutines that can return on a done signal, a
+// closed channel, or an error stay silent.
+package fixture
+
+type server struct {
+	done chan struct{}
+	work chan int
+	out  []int
+}
+
+func sink(int) {}
+
+// spinForever loops with no way out: leak.
+func (s *server) spinForever() {
+	for {
+		sink(1)
+	}
+}
+
+// drainForever receives forever; even channel close only yields zero values
+// to a bare receive, and nothing ever returns: leak.
+func (s *server) drainForever() {
+	for {
+		select {
+		case v := <-s.work:
+			sink(v)
+		}
+	}
+}
+
+// untilDone returns when the done channel is signalled: clean.
+func (s *server) untilDone() {
+	for {
+		select {
+		case v := <-s.work:
+			sink(v)
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// untilClosed ranges over the work channel, exiting when it is closed: clean.
+func (s *server) untilClosed() {
+	for v := range s.work {
+		sink(v)
+	}
+}
+
+// oneShot runs to completion: clean.
+func (s *server) oneShot(v int) {
+	sink(v)
+}
+
+func (s *server) start() {
+	go s.spinForever() // want: no reachable exit path
+	go func() {        // want: no reachable exit path
+		for {
+			sink(2)
+		}
+	}()
+	go s.drainForever() // want: no reachable exit path
+	go s.untilDone()
+	go s.untilClosed()
+	go s.oneShot(3)
+	go func() {
+		for v := range s.work {
+			sink(v)
+		}
+	}()
+}

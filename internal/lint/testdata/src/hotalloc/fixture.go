@@ -1,0 +1,67 @@
+// Package fixture exercises the hotalloc analyzer under an ethsim-claimed
+// import path: every banned allocation in a delivery-path function fires,
+// the pooled idioms stay silent, and the same constructs in a non-hot
+// function are out of scope.
+package fixture
+
+type handler interface{ HandleEvent(arg uint64) }
+
+type engine struct{ t float64 }
+
+func (e *engine) After(d float64, fn func())                  {}
+func (e *engine) AfterHandler(d float64, h handler, a uint64) {}
+
+type message struct{ id uint64 }
+
+type network struct {
+	eng     *engine
+	outQ    []message
+	scratch []uint64
+	seen    map[uint64]bool
+}
+
+func (n *network) HandleEvent(arg uint64) {}
+
+func deliver(*network) {}
+
+func box(v interface{}) { _ = v }
+
+// propagate is on the delivery path; each banned construct fires.
+func (n *network) propagate(m message) {
+	n.eng.After(0.1, func() { deliver(n) }) // want: closure
+	tags := []uint64{m.id}                  // want: slice literal
+	seen := map[uint64]bool{}               // want: map literal
+	var ids []uint64
+	ids = append(ids, m.id)          // want: growing append
+	box(m)                           // want: message boxed by value
+	box(&m)                          // clean: pointer-shaped
+	n.eng.AfterHandler(0.2, n, m.id) // clean: pointer into interface, uint64 arg
+	_, _, _ = tags, seen, ids
+}
+
+// flush is on the delivery path but uses only the pooled idioms: clean.
+func (n *network) flush() {
+	out := n.scratch[:0]
+	for i := range n.outQ {
+		out = append(out, n.outQ[i].id)
+	}
+	n.scratch = out
+	n.outQ = append(n.outQ, message{})
+	var want []uint64
+	if len(out) > 0 {
+		want = n.scratch[:0] // conditional pooled reslice clears the mark
+	}
+	want = append(want, 1)
+	_ = want
+}
+
+// setup is not a hot-path function: the same constructs stay silent.
+func setup() *network {
+	n := &network{seen: map[uint64]bool{}}
+	ids := []uint64{1, 2}
+	fn := func() { deliver(n) }
+	fn()
+	box(message{})
+	_ = ids
+	return n
+}

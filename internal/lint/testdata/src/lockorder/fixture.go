@@ -1,0 +1,99 @@
+// Package fixture exercises the lockorder analyzer: cross-type acquisition
+// cycles (direct and through a call), plus clean patterns that must stay
+// silent — a consistent global order and hand-over-hand locking over
+// instances of one type.
+package fixture
+
+import "sync"
+
+type A struct {
+	mu sync.Mutex
+	b  *B
+	n  int
+}
+
+type B struct {
+	mu sync.Mutex
+	a  *A
+	n  int
+}
+
+// lockAB acquires A.mu then B.mu.
+func (a *A) lockAB() {
+	a.mu.Lock()
+	a.b.mu.Lock() // want: cycle with lockBA's reverse order
+	a.b.n++
+	a.b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// lockBA acquires B.mu then A.mu — the reverse order; together with lockAB
+// this is a deadlock waiting for two goroutines to collide.
+func (b *B) lockBA() {
+	b.mu.Lock()
+	b.a.mu.Lock() // want: cycle with lockAB's order
+	b.a.n++
+	b.a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+type C struct {
+	mu sync.Mutex
+	n  int
+}
+
+type D struct {
+	mu sync.Mutex
+	n  int
+}
+
+// withLock calls into D while holding C.mu; D.poke acquires D.mu, so the
+// call creates the interprocedural edge C.mu -> D.mu.
+func (c *C) withLock(d *D) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d.poke() // want: completes the cycle against reverse's D.mu -> C.mu
+	c.n++
+}
+
+func (d *D) poke() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.n++
+}
+
+// reverse acquires D.mu then C.mu directly.
+func (d *D) reverse(c *C) {
+	d.mu.Lock()
+	c.mu.Lock() // want: cycle with the withLock -> poke chain
+	c.n++
+	d.n++
+	c.mu.Unlock()
+	d.mu.Unlock()
+}
+
+// Ordered always takes first before second: a consistent order, no cycle.
+type Ordered struct {
+	first  sync.Mutex
+	second sync.Mutex
+	n      int
+}
+
+func (o *Ordered) both() {
+	o.first.Lock()
+	o.second.Lock()
+	o.n++
+	o.second.Unlock()
+	o.first.Unlock()
+}
+
+// chain locks two instances of the same type nested — the same abstract
+// lock. The analyzer cannot see instance-level order, so this self-edge is
+// deliberately not reported.
+func chain(x, y *A) {
+	x.mu.Lock()
+	y.mu.Lock()
+	x.n, y.n = y.n, x.n
+	y.mu.Unlock()
+	x.mu.Unlock()
+}

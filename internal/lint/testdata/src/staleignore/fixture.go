@@ -1,0 +1,19 @@
+// Package fixture exercises the stale-ignore audit: a directive that still
+// suppresses a finding is fine; a directive whose finding is gone is
+// reported under the stale-ignore pseudo-rule.
+package fixture
+
+import "time"
+
+// live is suppressed and therefore used: no stale report.
+func live() time.Time {
+	//lint:ignore nodeterminism fixture exercises a used directive
+	return time.Now()
+}
+
+// gone once guarded a time.Now call that has since been removed; the
+// directive outlived the code it excused.
+func gone() time.Time {
+	//lint:ignore nodeterminism the violation this excused was deleted
+	return time.Time{}
+}

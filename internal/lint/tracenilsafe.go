@@ -92,7 +92,7 @@ func guardOnlyRecords(info *types.Info, body *ast.BlockStmt) bool {
 }
 
 func runTraceNilsafe(pkg *Package) []Finding {
-	if pkg.Path == tracePkg {
+	if pkg.ScopePath() == tracePkg {
 		return nil // the package that implements nil-safety may inspect nil
 	}
 	var findings []Finding

@@ -12,7 +12,7 @@ const modulePrefix = "toposhot"
 
 // report constructs a finding at the given node.
 func report(pkg *Package, node ast.Node, rule, msg string) Finding {
-	return Finding{Pos: relPosition(pkg.Fset, node.Pos()), Rule: rule, Msg: msg}
+	return Finding{Pos: relPosition(pkg, node.Pos()), Rule: rule, Msg: msg}
 }
 
 // pathIn reports whether pkgPath is one of the listed package paths or a

@@ -29,11 +29,15 @@ func rawPeer(t *testing.T, addr string) net.Conn {
 	if err := wire.WriteMsg(conn, status); err != nil {
 		t.Fatalf("raw handshake write: %v", err)
 	}
-	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if err := conn.SetReadDeadline(time.Now().Add(2 * time.Second)); err != nil {
+		t.Fatalf("arm handshake read deadline: %v", err)
+	}
 	if m, err := wire.ReadMsg(conn); err != nil || m.Code != wire.CodeStatus {
 		t.Fatalf("raw handshake read: %v (code %d)", err, m.Code)
 	}
-	_ = conn.SetReadDeadline(time.Time{})
+	if err := conn.SetReadDeadline(time.Time{}); err != nil {
+		t.Fatalf("clear handshake read deadline: %v", err)
+	}
 	return conn
 }
 
@@ -63,7 +67,9 @@ func TestSilentPeerIdleDisconnect(t *testing.T) {
 		t.Fatal("silent peer was not disconnected after the idle deadline")
 	}
 	// Our side of the connection must observe the close.
-	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if err := conn.SetReadDeadline(time.Now().Add(2 * time.Second)); err != nil {
+		t.Fatalf("arm read deadline: %v", err)
+	}
 	buf := make([]byte, 1)
 	if _, err := conn.Read(buf); err == nil {
 		t.Fatal("connection still open after idle disconnect")
