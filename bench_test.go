@@ -20,6 +20,7 @@ import (
 	"strconv"
 	"sync"
 	"testing"
+	"time"
 
 	"toposhot/internal/experiments"
 	"toposhot/internal/graph"
@@ -392,5 +393,67 @@ func BenchmarkEclipseRiskAnalysis(b *testing.B) {
 			b.ReportMetric(float64(r.ArticulationPoints), "articulation-points")
 			b.ReportMetric(float64(r.Bridges), "bridges")
 		}
+	}
+}
+
+// benchScaleConfig sizes the region-sharded mainnet census for the suite's
+// scale: the full 50k-node MainnetConfig under TOPOSHOT_FULL=1, a 1/32
+// population (same region granularity) by default, and 1/64 for -short.
+func benchScaleConfig() experiments.ScaleCensusConfig {
+	cfg := experiments.MainnetScaleCensus(benchSeed)
+	switch {
+	case testing.Short():
+		cfg.Grow = cfg.Grow.WithN(cfg.Grow.N / 64)
+		cfg.Regions = 8
+	case os.Getenv("TOPOSHOT_FULL") == "":
+		cfg.Grow = cfg.Grow.WithN(cfg.Grow.N / 32)
+		cfg.Regions = 12
+	}
+	return cfg
+}
+
+// BenchmarkCensusScale runs the region-sharded census at increasing runner
+// widths. Regions are independent engines, so wall-clock scales near-
+// linearly with min(width, cores, regions) while every reported quantity
+// stays identical across widths. speedup-x is measured wall-clock vs the
+// width-1 sub-benchmark (bounded by the host's core count — flat on a
+// single-core CI runner); fleet-speedup-x is the host-independent figure,
+// total virtual measurement hours over the critical path, i.e. the speedup
+// a sufficiently wide fleet attains. cmd/benchcompare diffs both.
+func BenchmarkCensusScale(b *testing.B) {
+	cfg := benchScaleConfig()
+	saved := runner.Parallelism()
+	defer runner.SetParallelism(saved)
+	var serialSecs float64
+	for _, width := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("parallel-%d", width), func(b *testing.B) {
+			runner.SetParallelism(width)
+			for i := 0; i < b.N; i++ {
+				start := time.Now()
+				sc, err := experiments.RunScaleCensus(cfg)
+				secs := time.Since(start).Seconds()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					if width == 1 {
+						serialSecs = secs
+					}
+					benchPrint(b, experiments.FormatScaleCensus(sc))
+					if sc.TP == 0 {
+						b.Fatal("sharded census detected nothing")
+					}
+					if serialSecs > 0 {
+						b.ReportMetric(serialSecs/secs, "speedup-x")
+					}
+					if sc.MaxDurationHours > 0 {
+						b.ReportMetric(sc.SumDurationHours/sc.MaxDurationHours, "fleet-speedup-x")
+					}
+					b.ReportMetric(100*sc.Precision, "precision-%")
+					b.ReportMetric(100*sc.RecallCovered, "recall-covered-%")
+					b.ReportMetric(100*float64(sc.CoveredEdges)/float64(sc.Truth.NumEdges()), "pair-coverage-%")
+				}
+			}
+		})
 	}
 }

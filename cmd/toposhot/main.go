@@ -19,6 +19,7 @@ import (
 
 	"toposhot/internal/core"
 	"toposhot/internal/ethsim"
+	"toposhot/internal/experiments"
 	"toposhot/internal/metrics"
 	"toposhot/internal/netgen"
 	"toposhot/internal/profile"
@@ -33,7 +34,12 @@ func main() {
 	n := flag.Int("n", 120, "nodes in the generated network")
 	k := flag.Int("k", 20, "parallel schedule group size K")
 	seed := flag.Int64("seed", 42, "simulation seed")
-	preset := flag.String("preset", "", "testnet preset: ropsten|rinkeby|goerli (overrides -n)")
+	preset := flag.String("preset", "", "network preset: ropsten|rinkeby|goerli|mainnet (overrides -n)")
+	lanes := flag.Int("lanes", 0, "engine event-lane count (0 = serial heap); lane count changes wall-clock only, never results")
+	regions := flag.Int("regions", 0, "shard the census into this many regions, each censused in its own engine (mainnet-scale mode; only intra-region links are measurable, reported honestly)")
+	checkpoint := flag.String("checkpoint", "", "write a resumable campaign checkpoint to this file at batch boundaries")
+	checkpointEvery := flag.Int("checkpoint-every", 25, "batches between checkpoint writes under -checkpoint")
+	resumeFrom := flag.String("resume", "", "resume a campaign from a checkpoint file written by -checkpoint (skips network build and pre-processing)")
 	strat := flag.String("strategy", "toposhot", "measurement method: toposhot|dethna|txprobe|ethna (non-toposhot methods probe all eligible pairs)")
 	out := flag.String("out", "", "output file (default stdout)")
 	uniform := flag.Bool("uniform", false, "all-default nodes (no heterogeneity)")
@@ -89,46 +95,158 @@ func main() {
 		grow = netgen.RinkebyConfig.WithSeed(*seed)
 	case "goerli":
 		grow = netgen.GoerliConfig.WithSeed(*seed)
+	case "mainnet":
+		grow = netgen.MainnetConfig.WithSeed(*seed)
 	case "":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown preset %q\n", *preset)
 		os.Exit(2)
 	}
-
-	g := netgen.Grow(grow)
-	netCfg := ethsim.DefaultConfig(*seed)
-	netCfg.LatencyTail = 0.05
-	netCfg.LatencyMax = 1.0
-	net := ethsim.NewNetwork(netCfg)
+	// An explicit -n rescales a preset (downsized smoke runs keep the
+	// preset's degree/leaf/monitor shape, like the bench harness).
+	if *preset != "" {
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "n" {
+				grow = grow.WithN(*n)
+			}
+		})
+	}
 	het := netgen.DefaultHeterogeneity()
 	if *uniform {
 		het = netgen.Uniform()
 	}
-	het.Expiry = 75
-	inst := netgen.InstantiateScaled(net, g, het, *seed, 0.1)
-	super := ethsim.NewSupernode(net)
-	super.ConnectAll()
-	super.SetEstimatorPolicy(txpool.Geth.WithCapacity(512).WithExpiry(75))
-	net.StartJanitor(30)
 
-	w := ethsim.NewWorkload(net, 0.2, types.Gwei/10, 2*types.Gwei)
-	w.Prefill(300, 5)
-	w.Start(0)
+	// Region-sharded mode: one independent engine per region, runner-wide
+	// parallel, honest intra-region coverage accounting. Per-region results
+	// live in separate worlds, so monolithic campaign checkpointing does not
+	// apply here.
+	if *regions > 0 {
+		if *strat != string(strategy.MethodTopoShot) || *checkpoint != "" || *resumeFrom != "" {
+			fmt.Fprintln(os.Stderr, "-regions supports only the toposhot strategy and no -checkpoint/-resume")
+			os.Exit(2)
+		}
+		cfg := experiments.ScaleCensusConfig{
+			Name: *preset, Grow: grow, Het: het, Seed: *seed,
+			Regions: *regions, Lanes: *lanes,
+			PoolScale: 0.1, GroupK: *k, EdgeBudget: 144, Prefill: 300,
+		}
+		if cfg.Name == "" {
+			cfg.Name = "custom"
+		}
+		sc, err := experiments.RunScaleCensus(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sharded census failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprint(os.Stderr, experiments.FormatScaleCensus(sc))
+		if err := flushTrace(); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		bw, closeOut := openOutput(*out)
+		defer closeOut()
+		for _, e := range sc.Measured.Edges() {
+			fmt.Fprintf(bw, "%d %d\n", e[0], e[1])
+		}
+		return
+	}
 
+	// Monolithic mode: one engine hosts the whole network. Either build it
+	// fresh or restore world + campaign position from a checkpoint file.
+	var (
+		net     *ethsim.Network
+		super   *ethsim.Supernode
+		m       *core.Measurer
+		targets []types.NodeID
+		back    map[types.NodeID]int
+		resume  *core.CampaignState
+	)
 	params := core.DefaultParams()
 	params.Z = 512
-	m := core.NewMeasurer(net, super, params)
+	if *resumeFrom != "" {
+		blob, meta, err := readCheckpoint(*resumeFrom)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		net, err = ethsim.RestoreNetworkLanes(blob, *lanes)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "restore %s: %v\n", *resumeFrom, err)
+			os.Exit(1)
+		}
+		supers := net.Supernodes()
+		if meta.Super < 0 || meta.Super >= len(supers) {
+			fmt.Fprintf(os.Stderr, "restore %s: supernode index %d out of range (have %d)\n",
+				*resumeFrom, meta.Super, len(supers))
+			os.Exit(1)
+		}
+		if tracer != nil {
+			net.SetTracer(tracer)
+			tracer.SetClock(net.Now)
+		}
+		super = supers[meta.Super]
+		m = core.NewMeasurer(net, super, params)
+		*seed, *k = meta.Seed, meta.K
+		targets, resume = meta.Targets, meta.Campaign
+		back = make(map[types.NodeID]int, len(meta.Back))
+		for _, p := range meta.Back {
+			back[p.ID] = p.V
+		}
+		fmt.Fprintf(os.Stderr, "resumed %s: %d nodes at t=%.1fs, %d batches done, %d edges so far\n",
+			*resumeFrom, len(net.Nodes()), net.Now(), resume.BatchesDone, len(resume.Detected))
+	} else {
+		g := netgen.Grow(grow)
+		netCfg := ethsim.DefaultConfig(*seed)
+		netCfg.LatencyTail = 0.05
+		netCfg.LatencyMax = 1.0
+		netCfg.Lanes = *lanes
+		net = ethsim.NewNetwork(netCfg)
+		het.Expiry = 75
+		inst := netgen.InstantiateScaled(net, g, het, *seed, 0.1)
+		super = ethsim.NewSupernode(net)
+		super.ConnectAll()
+		super.SetEstimatorPolicy(txpool.Geth.WithCapacity(512).WithExpiry(75))
+		net.StartJanitor(30)
 
-	fmt.Fprintf(os.Stderr, "network: %d nodes, %d true edges; pre-processing...\n",
-		g.NumNodes(), g.NumEdges())
-	pre := m.Preprocess(inst.IDs)
-	targets := pre.EligibleNodes(inst.IDs)
+		w := ethsim.NewWorkload(net, 0.2, types.Gwei/10, 2*types.Gwei)
+		w.Prefill(300, 5)
+		w.Start(0)
+		m = core.NewMeasurer(net, super, params)
+
+		fmt.Fprintf(os.Stderr, "network: %d nodes, %d true edges; pre-processing...\n",
+			g.NumNodes(), g.NumEdges())
+		pre := m.Preprocess(inst.IDs)
+		targets = pre.EligibleNodes(inst.IDs)
+		back = inst.Back
+	}
 	truth := core.EdgeSetOf(net.Edges())
 
 	var detected *core.EdgeSet
 	if *strat == string(strategy.MethodTopoShot) {
+		var onBatch func(*core.CampaignState) error
+		if *checkpoint != "" {
+			every := *checkpointEvery
+			if every < 1 {
+				every = 1
+			}
+			meta := &campaignMeta{Seed: *seed, K: *k, EdgeBudget: 144, Targets: targets}
+			for id, v := range back {
+				meta.Back = append(meta.Back, backPair{ID: id, V: v})
+			}
+			onBatch = func(st *core.CampaignState) error {
+				if st.BatchesDone%every != 0 {
+					return nil
+				}
+				blob, err := net.Checkpoint()
+				if err != nil {
+					return err
+				}
+				meta.Campaign = st
+				return writeCheckpoint(*checkpoint, blob, meta)
+			}
+		}
 		fmt.Fprintf(os.Stderr, "measuring %d eligible nodes with K=%d...\n", len(targets), *k)
-		res, err := m.MeasureNetwork(targets, *k, 144)
+		res, err := m.MeasureNetworkResume(targets, *k, 144, resume, onBatch)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "measurement failed: %v\n", err)
 			os.Exit(1)
@@ -142,6 +260,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "done in %.2f virtual hours over %d calls: %v\n",
 			res.Duration/3600, res.Calls, sc)
 		fmt.Fprintf(os.Stderr, "worst-case cost: %.4f ETH\n", core.Ether(m.Ledger.WorstCaseWei()))
+	} else if *resumeFrom != "" || *checkpoint != "" {
+		fmt.Fprintln(os.Stderr, "-checkpoint/-resume support only the toposhot strategy")
+		os.Exit(2)
 	} else {
 		s, err := strategy.NewMethod(strategy.Method(*strat), net, super, strategy.Config{TopoShot: params})
 		if err != nil {
@@ -170,23 +291,34 @@ func main() {
 		os.Exit(1)
 	}
 
+	bw, closeOut := openOutput(*out)
+	defer closeOut()
+	for _, e := range detected.Edges() {
+		va, okA := back[e[0]]
+		vb, okB := back[e[1]]
+		if okA && okB {
+			fmt.Fprintf(bw, "%d %d\n", va, vb)
+		}
+	}
+}
+
+// openOutput returns a buffered writer on the -out file (or stdout) and the
+// function that flushes and closes it.
+func openOutput(path string) (*bufio.Writer, func()) {
 	dst := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
+	if path != "" {
+		f, err := os.Create(path)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "create %s: %v\n", *out, err)
+			fmt.Fprintf(os.Stderr, "create %s: %v\n", path, err)
 			os.Exit(1)
 		}
-		defer f.Close()
 		dst = f
 	}
 	bw := bufio.NewWriter(dst)
-	defer bw.Flush()
-	for _, e := range detected.Edges() {
-		va, okA := inst.Back[e[0]]
-		vb, okB := inst.Back[e[1]]
-		if okA && okB {
-			fmt.Fprintf(bw, "%d %d\n", va, vb)
+	return bw, func() {
+		bw.Flush()
+		if dst != os.Stdout {
+			dst.Close()
 		}
 	}
 }

@@ -47,10 +47,7 @@ func runCampaign(t *testing.T, seed int64) campaignRun {
 		}
 		return det[i][1] < det[j][1]
 	})
-	msgs := make(map[string]int, len(net.MsgCount))
-	for k, v := range net.MsgCount {
-		msgs[k] = v
-	}
+	msgs := net.MsgCounts()
 	return campaignRun{
 		detected:  det,
 		msgCount:  msgs,

@@ -19,6 +19,13 @@ type Ledger struct {
 
 	// InjectedMsgs counts supernode sends, for load reporting.
 	InjectedMsgs int
+
+	// basePending/baseWorstWei carry the aggregates of a resumed campaign's
+	// earlier run: a checkpoint stores totals rather than every emitted
+	// transaction, so a restored ledger reports whole-campaign figures while
+	// only tracking post-resume transactions individually.
+	basePending  int
+	baseWorstWei float64
 }
 
 // NewLedger returns an empty ledger.
@@ -38,11 +45,24 @@ func (l *Ledger) RecordFutures(txs []*types.Transaction) {
 	l.InjectedMsgs += len(txs)
 }
 
-// PendingCount returns the number of pending-class transactions emitted.
-func (l *Ledger) PendingCount() int { return len(l.pending) }
+// PendingCount returns the number of pending-class transactions emitted
+// over the whole campaign, including any resumed-from baseline.
+func (l *Ledger) PendingCount() int { return len(l.pending) + l.basePending }
 
 // FutureCount returns the number of future transactions emitted.
 func (l *Ledger) FutureCount() int { return l.futures }
+
+// RestoreAggregates seeds the ledger with the totals of a campaign's
+// pre-checkpoint run, so a resumed campaign's cost report covers the whole
+// campaign. Per-transaction data from before the checkpoint is not carried
+// (ActualWei against a chain is not meaningful across a resume — mining
+// campaigns are not checkpointable anyway).
+func (l *Ledger) RestoreAggregates(pending, futures, injected int, worstWei float64) {
+	l.basePending = pending
+	l.futures = futures
+	l.InjectedMsgs = injected
+	l.baseWorstWei = worstWei
+}
 
 // sortedPending returns the pending transactions ordered by hash. Campaign
 // prices are float sums; summing in hash order keeps the total bit-identical
@@ -63,7 +83,7 @@ func (l *Ledger) sortedPending() []*types.Transaction {
 // transaction were mined — the estimation basis for the paper's $60M
 // full-mainnet figure.
 func (l *Ledger) WorstCaseWei() float64 {
-	var sum float64
+	sum := l.baseWorstWei
 	for _, tx := range l.sortedPending() {
 		sum += float64(tx.Fee())
 	}
@@ -88,5 +108,5 @@ func Ether(wei float64) float64 { return wei / 1e18 }
 // String summarizes the ledger.
 func (l *Ledger) String() string {
 	return fmt.Sprintf("ledger{pending=%d futures=%d worstCase=%.6f ETH}",
-		len(l.pending), l.futures, Ether(l.WorstCaseWei()))
+		l.PendingCount(), l.futures, Ether(l.WorstCaseWei()))
 }

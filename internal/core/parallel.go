@@ -263,27 +263,24 @@ type ScheduleResult struct {
 // call (the paper's ≤2000 mempool-slot discipline); oversized iterations are
 // split into consecutive calls.
 func (m *Measurer) MeasureNetwork(nodes []types.NodeID, k, edgeBudget int) (*ScheduleResult, error) {
-	if k < 1 {
-		k = 1
-	}
-	if edgeBudget < 1 {
-		edgeBudget = 2000
-	}
-	// Cache the flood-entry candidate scan for the whole campaign; no nodes
-	// join or leave mid-run. Cleared on exit so direct MeasurePar callers
-	// (which may add nodes between calls) keep the fresh-scan behaviour.
-	m.entryCandidates = m.scanEntryCandidates()
-	defer func() { m.entryCandidates = nil }()
-	start := m.net.Now()
-	out := &ScheduleResult{Detected: NewEdgeSet(), DetectedVia: make(map[[2]types.NodeID]types.Hash)}
+	return m.MeasureNetworkResume(nodes, k, edgeBudget, nil, nil)
+}
 
-	// The two-round schedule covers every pair exactly once; done/total pair
-	// counts on the campaign span feed the /progress ETA extrapolation.
-	totalPairs := len(nodes) * (len(nodes) - 1) / 2
-	span := m.tracer.StartSpan(SpanNetwork,
-		trace.Int(attrNodes, int64(len(nodes))), trace.Int(attrK, int64(k)),
-		trace.Int(trace.AttrTotal, int64(totalPairs)))
-	defer span.End()
+// planBatch is one deterministic campaign step: the edges of one MeasurePar
+// call and the 1-based schedule iteration it belongs to.
+type planBatch struct {
+	edges     []Edge
+	iteration int
+}
+
+// planNetworkBatches enumerates the complete batch sequence of a
+// MeasureNetwork campaign. The plan is a pure function of (nodes, k,
+// edgeBudget) — no RNG, no network state — which is what makes campaigns
+// checkpoint-resumable: a resumed run re-derives the identical plan and
+// skips the batches already executed.
+func planNetworkBatches(nodes []types.NodeID, k, edgeBudget int) []planBatch {
+	var plan []planBatch
+	iteration := 0
 
 	// Batches are shaped to bound participants as well as edges: each
 	// participant costs a full mempool fill (Z futures) plus an r-slot
@@ -293,7 +290,7 @@ func (m *Measurer) MeasureNetwork(nodes []types.NodeID, k, edgeBudget int) (*Sch
 	if maxParticipants < 4 {
 		maxParticipants = 4
 	}
-	run := func(edges []Edge) error {
+	emit := func(edges []Edge) {
 		for len(edges) > 0 {
 			srcs := make(map[types.NodeID]struct{})
 			snks := make(map[types.NodeID]struct{})
@@ -307,22 +304,9 @@ func (m *Measurer) MeasureNetwork(nodes []types.NodeID, k, edgeBudget int) (*Sch
 				}
 				n++
 			}
-			batch := edges[:n]
+			plan = append(plan, planBatch{edges: edges[:n], iteration: iteration})
 			edges = edges[n:]
-			res, err := m.MeasurePar(batch)
-			if err != nil {
-				return err
-			}
-			out.Calls++
-			out.SetupFails += len(res.SetupFailed)
-			out.Detected.Union(res.Detected)
-			for k, v := range res.DetectedVia {
-				out.DetectedVia[k] = v
-			}
-			out.PairsMeasured += len(batch)
-			span.SetAttr(trace.Int(trace.AttrDone, int64(out.PairsMeasured)))
 		}
-		return nil
 	}
 
 	// Round 1: group i × everything after group i.
@@ -346,7 +330,7 @@ func (m *Measurer) MeasureNetwork(nodes []types.NodeID, k, edgeBudget int) (*Sch
 			break
 		}
 		rest := nodes[restStart:]
-		out.Iterations++
+		iteration++
 		for s0 := 0; s0 < len(g); s0 += sp {
 			schunk := g[s0:minInt(s0+sp, len(g))]
 			sq := edgeBudget / len(schunk)
@@ -361,9 +345,7 @@ func (m *Measurer) MeasureNetwork(nodes []types.NodeID, k, edgeBudget int) (*Sch
 						edges = append(edges, Edge{Source: a, Sink: b})
 					}
 				}
-				if err := run(edges); err != nil {
-					return nil, err
-				}
+				emit(edges)
 			}
 		}
 	}
@@ -391,11 +373,77 @@ func (m *Measurer) MeasureNetwork(nodes []types.NodeID, k, edgeBudget int) (*Sch
 		if len(edges) == 0 {
 			break
 		}
-		out.Iterations++
-		if err := run(edges); err != nil {
+		iteration++
+		emit(edges)
+		cur = next
+	}
+	return plan
+}
+
+// MeasureNetworkResume is MeasureNetwork with checkpoint support. A non-nil
+// `resume` continues a campaign from a previously captured CampaignState
+// (the network itself must have been restored from its paired ethsim
+// checkpoint). A non-nil `onBatch` is invoked after every completed batch
+// with the campaign's current state; the caller pairs it with
+// Network.Checkpoint to persist a resumable snapshot, and an error from the
+// callback aborts the campaign.
+func (m *Measurer) MeasureNetworkResume(nodes []types.NodeID, k, edgeBudget int,
+	resume *CampaignState, onBatch func(*CampaignState) error) (*ScheduleResult, error) {
+	if k < 1 {
+		k = 1
+	}
+	if edgeBudget < 1 {
+		edgeBudget = 2000
+	}
+	// Cache the flood-entry candidate scan for the whole campaign; no nodes
+	// join or leave mid-run. Cleared on exit so direct MeasurePar callers
+	// (which may add nodes between calls) keep the fresh-scan behaviour.
+	m.entryCandidates = m.scanEntryCandidates()
+	defer func() { m.entryCandidates = nil }()
+
+	plan := planNetworkBatches(nodes, k, edgeBudget)
+	out := &ScheduleResult{Detected: NewEdgeSet(), DetectedVia: make(map[[2]types.NodeID]types.Hash)}
+	start := m.net.Now()
+	done := 0
+	if resume != nil {
+		if err := m.applyCampaignState(resume, len(plan), out); err != nil {
 			return nil, err
 		}
-		cur = next
+		done = resume.BatchesDone
+		start = resume.StartTime
+	}
+
+	// The two-round schedule covers every pair exactly once; done/total pair
+	// counts on the campaign span feed the /progress ETA extrapolation.
+	totalPairs := len(nodes) * (len(nodes) - 1) / 2
+	span := m.tracer.StartSpan(SpanNetwork,
+		trace.Int(attrNodes, int64(len(nodes))), trace.Int(attrK, int64(k)),
+		trace.Int(trace.AttrTotal, int64(totalPairs)))
+	defer span.End()
+	span.SetAttr(trace.Int(trace.AttrDone, int64(out.PairsMeasured)))
+
+	for ; done < len(plan); done++ {
+		b := plan[done]
+		res, err := m.MeasurePar(b.edges)
+		if err != nil {
+			return nil, err
+		}
+		out.Calls++
+		out.SetupFails += len(res.SetupFailed)
+		out.Detected.Union(res.Detected)
+		for e, v := range res.DetectedVia {
+			out.DetectedVia[e] = v
+		}
+		out.PairsMeasured += len(b.edges)
+		if b.iteration > out.Iterations {
+			out.Iterations = b.iteration
+		}
+		span.SetAttr(trace.Int(trace.AttrDone, int64(out.PairsMeasured)))
+		if onBatch != nil {
+			if err := onBatch(m.captureCampaignState(done+1, start, out)); err != nil {
+				return nil, fmt.Errorf("core: campaign checkpoint: %w", err)
+			}
+		}
 	}
 
 	out.Duration = m.net.Now() - start

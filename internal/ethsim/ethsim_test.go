@@ -276,14 +276,14 @@ func TestDeliveryWatermarksPruned(t *testing.T) {
 	w.Start(0)
 	net.RunFor(60)
 	w.Stop()
-	if len(net.lastDelivery) == 0 {
+	if net.liveDeliveryMarks() == 0 {
 		t.Fatal("no watermarks while traffic flows — test is vacuous")
 	}
 	// All deliveries land within LatencyMax+SpikeMax; two janitor ticks
 	// beyond that horizon must clear every stale watermark.
 	net.RunFor(net.Config().LatencyMax + net.Config().SpikeMax + 11)
-	if n := len(net.lastDelivery); n != 0 {
-		t.Fatalf("%d stale watermarks survived the janitor", n)
+	if n := net.liveDeliveryMarks(); n != 0 {
+		t.Fatalf("%d live watermarks survived past the horizon", n)
 	}
 }
 

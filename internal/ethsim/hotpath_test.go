@@ -28,7 +28,7 @@ func TestFlushCoalescesWindow(t *testing.T) {
 
 	// B's only peer is A (the exclude), so B sends nothing back: the single
 	// message on the wire is A's one batched flush.
-	if got := net.MsgCount["txs"]; got != 1 {
+	if got := net.MsgCounts()["txs"]; got != 1 {
 		t.Fatalf("txs messages after one window = %d, want 1 (flush not coalesced)", got)
 	}
 	if !b.Pool().Has(tx1.Hash()) || !b.Pool().Has(tx2.Hash()) {
@@ -39,7 +39,7 @@ func TestFlushCoalescesWindow(t *testing.T) {
 	tx3 := types.NewTransaction(types.AddressFromUint64(3), types.AddressFromUint64(9), 0, types.Gwei, 0)
 	a.SubmitLocal(tx3)
 	net.RunFor(5)
-	if got := net.MsgCount["txs"]; got != 2 {
+	if got := net.MsgCounts()["txs"]; got != 2 {
 		t.Fatalf("txs messages after second window = %d, want 2", got)
 	}
 }
@@ -116,8 +116,7 @@ func TestAnnounceLockSweepRing(t *testing.T) {
 	net := testNet(14)
 	nd := net.AddNode(DefaultNodeConfig())
 	arm := func(h types.Hash, until float64) {
-		nd.announceLock[h] = until
-		nd.lockQ = append(nd.lockQ, lockEntry{h: h, until: until})
+		nd.armAnnounceLock(h, until)
 	}
 	h1 := types.BytesToHash([]byte{1})
 	h2 := types.BytesToHash([]byte{2})
@@ -170,7 +169,7 @@ func TestAnnounceLockStillFiltersDuplicates(t *testing.T) {
 	nd.deliverAnnounce(src.ID(), []types.Hash{h})
 	nd.deliverAnnounce(src.ID(), []types.Hash{h})
 	net.RunFor(5)
-	if got := net.MsgCount["request"]; got != 1 {
+	if got := net.MsgCounts()["request"]; got != 1 {
 		t.Fatalf("requests after duplicate announce = %d, want 1", got)
 	}
 }
@@ -195,7 +194,7 @@ func BenchmarkGossipFlood(b *testing.B) {
 		net.Node(ids[i%len(ids)]).SubmitLocal(tx)
 		net.RunFor(2)
 	}
-	base := net.MsgCount["txs"] + net.MsgCount["announce"] + net.MsgCount["request"]
+	base := net.MsgCounts()["txs"] + net.MsgCounts()["announce"] + net.MsgCounts()["request"]
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -204,7 +203,7 @@ func BenchmarkGossipFlood(b *testing.B) {
 		net.RunFor(2)
 	}
 	b.StopTimer()
-	delivered := net.MsgCount["txs"] + net.MsgCount["announce"] + net.MsgCount["request"] - base
+	delivered := net.MsgCounts()["txs"] + net.MsgCounts()["announce"] + net.MsgCounts()["request"] - base
 	b.ReportMetric(float64(delivered)/float64(b.N), "msgs/op")
 }
 

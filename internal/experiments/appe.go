@@ -175,7 +175,8 @@ func FloodExploit(policy txpool.Policy, seed int64) FloodResult {
 	base := types.NewTransaction(attacker, types.AddressFromUint64(1), 0, price, 0)
 	super.Inject(ids[0], base)
 	net.RunFor(3)
-	before := net.MsgCount["txs"] + net.MsgCount["announce"]
+	mc := net.MsgCounts()
+	before := mc["txs"] + mc["announce"]
 
 	replaced := 0
 	const attempts = 50
@@ -189,10 +190,11 @@ func FloodExploit(policy txpool.Policy, seed int64) FloodResult {
 		}
 	}
 	net.RunFor(3)
+	after := net.MsgCounts()
 	return FloodResult{
 		Client:              policy.Name,
 		Replacements:        replaced,
-		PropagationMessages: net.MsgCount["txs"] + net.MsgCount["announce"] - before,
+		PropagationMessages: after["txs"] + after["announce"] - before,
 		CommittedWei:        base.Fee(),
 	}
 }

@@ -185,7 +185,7 @@ func RunCensus(cfg CensusConfig) (*Census, error) {
 		CostEther:     core.Ether(m.Ledger.WorstCaseWei()),
 		Iterations:    res.Iterations,
 		Calls:         res.Calls,
-		MsgCount:      net.MsgCount,
+		MsgCount:      net.MsgCounts(),
 	}, nil
 }
 

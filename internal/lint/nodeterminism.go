@@ -61,8 +61,14 @@ var deliveryPathFuncs = map[string]bool{
 	"propagate":          true,
 	"sweepAnnounceLocks": true,
 	"HandleEvent":        true,
+	"handleMsg":          true,
 	"route":              true,
 	"TickPools":          true,
+	// SoA accessors (DESIGN.md §12): per-message adjacency-arena lookups.
+	"peersSeg":           true,
+	"marksSeg":           true,
+	"peerPos":            true,
+	"appendPropagatable": true,
 }
 
 var analyzerNoDeterminism = &Analyzer{

@@ -50,6 +50,16 @@ var (
 		N: 1025, DialLo: 8, DialHi: 26, PeersLo: 30, PeersHi: 80,
 		LeafFraction: 0.08, Monitors: 2, MonitorFraction: 0.69,
 	}
+	// MainnetConfig targets the 2021 mainnet population the paper sizes its
+	// cost extrapolation against (§6.4): tens of thousands of reachable
+	// nodes, Geth-default maxpeers, a visible leaf population of light
+	// clients, and a handful of crawler/monitor services each covering a few
+	// percent of the network. The SoA engine (DESIGN.md §12) exists to make
+	// this preset simulable on one machine.
+	MainnetConfig = GrowConfig{
+		N: 50_000, DialLo: 8, DialHi: 17, PeersLo: 25, PeersHi: 50,
+		LeafFraction: 0.12, Monitors: 8, MonitorFraction: 0.03,
+	}
 )
 
 // WithSeed returns a copy of the config using the given seed.

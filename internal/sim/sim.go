@@ -9,19 +9,26 @@
 // non-interference experiment possible.
 //
 // The scheduler is built for the gossip-flood hot path: events live in an
-// engine-owned arena indexed by a 4-ary heap of int32 slot numbers, and freed
-// slots are recycled through a free list, so steady-state scheduling performs
-// no allocation and no interface boxing. Events carry either a closure (the
-// general API) or a Handler plus a uint64 argument (the allocation-free API
-// the network simulator uses for its pooled messages). The pop order is the
-// strict total order (at, seq) — identical for any correct priority queue —
-// so the heap's arity and layout are pure implementation details that can
-// never change a replay. See DESIGN.md §8 for the invariants.
+// engine-owned arena indexed by per-lane 4-ary heaps of int32 slot numbers,
+// and freed slots are recycled through a free list, so steady-state
+// scheduling performs no allocation and no interface boxing. Events carry
+// either a closure (the general API) or a Handler plus a uint64 argument
+// (the allocation-free API the network simulator uses for its pooled
+// messages). The pop order is the strict total order (at, seq) — identical
+// for any correct priority queue — so the number of lanes, the heap arity,
+// and the layout are pure implementation details that can never change a
+// replay: Step always pops the globally smallest (at, seq) across all lane
+// heads. Lanes exist so that mainnet-scale networks can keep per-region
+// event populations in separate, shallower heaps (cutting sift depth on the
+// delivery path) while remaining byte-identical to a single-lane run. See
+// DESIGN.md §8 and §12 for the invariants.
 package sim
 
 import (
+	"errors"
 	"math"
 	"math/rand"
+	"sort"
 )
 
 // Handler receives typed events scheduled with AtHandler/AfterHandler. It is
@@ -33,11 +40,64 @@ type Handler interface {
 
 // event is one scheduled occurrence. Exactly one of fn and h is set.
 type event struct {
-	at  float64
-	seq uint64 // tie-break: FIFO among same-time events
-	fn  func()
-	h   Handler
-	arg uint64
+	at   float64
+	seq  uint64 // tie-break: FIFO among same-time events
+	fn   func()
+	h    Handler
+	arg  uint64
+	lane int32
+}
+
+// countingSource wraps the standard library's seeded source and counts every
+// underlying draw. rand.Rand's internal state cannot be serialized, but its
+// source advances exactly one step per Int63/Uint64 call regardless of which
+// Rand method triggered it — so (seed, draw count) is a complete, versionable
+// encoding of RNG state: restore re-seeds and discards the counted number of
+// draws.
+type countingSource struct {
+	src   rand.Source64
+	draws uint64
+}
+
+func (c *countingSource) Int63() int64 {
+	c.draws++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Uint64() uint64 {
+	c.draws++
+	return c.src.Uint64()
+}
+
+func (c *countingSource) Seed(seed int64) { c.src.Seed(seed) }
+
+// CountedRand is a deterministic rand.Rand whose source-draw count is
+// observable and replayable — the standalone form of the engine's RNG
+// checkpointing, for components (e.g. workloads) that keep a private random
+// stream but still need to serialize into a checkpoint.
+type CountedRand struct {
+	rng *rand.Rand
+	src *countingSource
+}
+
+// NewCountedRand returns a counted deterministic source seeded with seed.
+func NewCountedRand(seed int64) *CountedRand {
+	src := &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+	return &CountedRand{rng: rand.New(src), src: src}
+}
+
+// Rand returns the underlying rand.Rand.
+func (c *CountedRand) Rand() *rand.Rand { return c.rng }
+
+// Draws returns the number of source draws consumed so far.
+func (c *CountedRand) Draws() uint64 { return c.src.draws }
+
+// FastForward advances a fresh same-seed source to a recorded draw count.
+func (c *CountedRand) FastForward(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		c.src.src.Uint64()
+	}
+	c.src.draws = n
 }
 
 // Engine is a discrete-event scheduler over virtual seconds.
@@ -47,20 +107,27 @@ type Engine struct {
 	now float64
 	seq uint64
 
-	// arena stores events by value; heap orders arena indices by (at, seq);
-	// free recycles popped slots. Once the arena has grown to the simulation's
-	// peak in-flight event count, scheduling allocates nothing.
+	// arena stores events by value; each lane is a 4-ary heap of arena
+	// indices ordered by (at, seq); free recycles popped slots. Once the
+	// arena has grown to the simulation's peak in-flight event count,
+	// scheduling allocates nothing.
 	arena []event
 	free  []int32
-	heap  []int32
+	lanes [][]int32
 
 	rng *rand.Rand
+	src *countingSource
 }
 
-// New returns an engine with virtual time 0 and a deterministic random
-// source derived from seed.
+// New returns an engine with virtual time 0, one event lane, and a
+// deterministic random source derived from seed.
 func New(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed))}
+	src := &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+	return &Engine{
+		rng:   rand.New(src),
+		src:   src,
+		lanes: make([][]int32, 1),
+	}
 }
 
 // Now returns the current virtual time in seconds.
@@ -69,28 +136,72 @@ func (e *Engine) Now() float64 { return e.now }
 // Rand returns the engine's deterministic random source.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
+// RandDraws returns the number of draws consumed from the engine's random
+// source since construction. Together with the construction seed it fully
+// determines RNG state; checkpoints persist it and RestoreState replays it.
+func (e *Engine) RandDraws() uint64 { return e.src.draws }
+
+// SeqCount returns the number of events scheduled since construction — the
+// monotone tiebreaker counter. Checkpoints persist it so sequence numbers
+// (and thus equal-time pop order) continue identically after a restore.
+func (e *Engine) SeqCount() uint64 { return e.seq }
+
+// LaneCount returns the number of event lanes.
+func (e *Engine) LaneCount() int { return len(e.lanes) }
+
+// SetLanes resizes the engine to n event lanes (n < 1 is clamped to 1),
+// redistributing any pending events by their recorded lane modulo n. Pop
+// order is unaffected: Step always takes the global (at, seq) minimum over
+// lane heads, so lane count is invisible to a replay.
+func (e *Engine) SetLanes(n int) {
+	if n < 1 {
+		n = 1
+	}
+	old := e.lanes
+	e.lanes = make([][]int32, n)
+	for _, h := range old {
+		for _, idx := range h {
+			l := int(e.arena[idx].lane) % n
+			e.arena[idx].lane = int32(l)
+			e.lanes[l] = append(e.lanes[l], idx)
+			e.siftUp(e.lanes[l], len(e.lanes[l])-1)
+		}
+	}
+}
+
 // At schedules fn at absolute virtual time t. Scheduling in the past runs
 // the event at the current time instead (never backwards).
-func (e *Engine) At(t float64, fn func()) { e.schedule(t, fn, nil, 0) }
+func (e *Engine) At(t float64, fn func()) { e.schedule(t, fn, nil, 0, 0) }
 
 // After schedules fn d seconds from now.
-func (e *Engine) After(d float64, fn func()) { e.schedule(e.now+d, fn, nil, 0) }
+func (e *Engine) After(d float64, fn func()) { e.schedule(e.now+d, fn, nil, 0, 0) }
 
 // AtHandler schedules h.HandleEvent(arg) at absolute virtual time t. Unlike
 // At it captures nothing, so steady-state scheduling through a reused
 // Handler is allocation-free.
-func (e *Engine) AtHandler(t float64, h Handler, arg uint64) { e.schedule(t, nil, h, arg) }
+func (e *Engine) AtHandler(t float64, h Handler, arg uint64) { e.schedule(t, nil, h, arg, 0) }
 
 // AfterHandler schedules h.HandleEvent(arg) d seconds from now.
-func (e *Engine) AfterHandler(d float64, h Handler, arg uint64) { e.schedule(e.now+d, nil, h, arg) }
+func (e *Engine) AfterHandler(d float64, h Handler, arg uint64) { e.schedule(e.now+d, nil, h, arg, 0) }
+
+// AtHandlerLane schedules h.HandleEvent(arg) at absolute time t on the given
+// lane (taken modulo the lane count). Lane choice affects only which heap
+// holds the event — never its position in the global pop order.
+func (e *Engine) AtHandlerLane(t float64, h Handler, arg uint64, lane int) {
+	e.schedule(t, nil, h, arg, lane)
+}
 
 // schedule stores the event in a recycled arena slot and pushes its index
-// onto the heap. The (at, seq) key is unique per event, so the heap's sift
-// order can never influence pop order.
-func (e *Engine) schedule(t float64, fn func(), h Handler, arg uint64) {
+// onto its lane's heap. The (at, seq) key is unique per event, so neither
+// lane choice nor sift order can influence pop order.
+func (e *Engine) schedule(t float64, fn func(), h Handler, arg uint64, lane int) {
 	if t < e.now {
 		t = e.now
 	}
+	if lane < 0 {
+		lane = -lane
+	}
+	lane %= len(e.lanes)
 	e.seq++
 	var idx int32
 	if n := len(e.free); n > 0 {
@@ -100,9 +211,9 @@ func (e *Engine) schedule(t float64, fn func(), h Handler, arg uint64) {
 		e.arena = append(e.arena, event{})
 		idx = int32(len(e.arena) - 1)
 	}
-	e.arena[idx] = event{at: t, seq: e.seq, fn: fn, h: h, arg: arg}
-	e.heap = append(e.heap, idx)
-	e.siftUp(len(e.heap) - 1)
+	e.arena[idx] = event{at: t, seq: e.seq, fn: fn, h: h, arg: arg, lane: int32(lane)}
+	e.lanes[lane] = append(e.lanes[lane], idx)
+	e.siftUp(e.lanes[lane], len(e.lanes[lane])-1)
 }
 
 // less orders two arena slots by (at, seq) — a strict total order because
@@ -116,8 +227,7 @@ func (e *Engine) less(a, b int32) bool {
 }
 
 // siftUp restores the 4-ary heap property from leaf i upward.
-func (e *Engine) siftUp(i int) {
-	h := e.heap
+func (e *Engine) siftUp(h []int32, i int) {
 	for i > 0 {
 		parent := (i - 1) >> 2
 		if !e.less(h[i], h[parent]) {
@@ -132,8 +242,7 @@ func (e *Engine) siftUp(i int) {
 // layout halves the tree depth of a binary heap: pushes compare against one
 // parent per level and the extra child comparisons on pop stay in one cache
 // line of the int32 index slice.
-func (e *Engine) siftDown(i int) {
-	h := e.heap
+func (e *Engine) siftDown(h []int32, i int) {
 	n := len(h)
 	for {
 		first := i<<2 + 1
@@ -158,17 +267,34 @@ func (e *Engine) siftDown(i int) {
 	}
 }
 
+// minLane returns the index of the lane whose head is the global (at, seq)
+// minimum, or -1 when every lane is empty.
+func (e *Engine) minLane() int {
+	best := -1
+	for l := 0; l < len(e.lanes); l++ {
+		if len(e.lanes[l]) == 0 {
+			continue
+		}
+		if best < 0 || e.less(e.lanes[l][0], e.lanes[best][0]) {
+			best = l
+		}
+	}
+	return best
+}
+
 // Step executes the next pending event and reports whether one existed.
 func (e *Engine) Step() bool {
-	if len(e.heap) == 0 {
+	l := e.minLane()
+	if l < 0 {
 		return false
 	}
-	idx := e.heap[0]
-	last := len(e.heap) - 1
-	e.heap[0] = e.heap[last]
-	e.heap = e.heap[:last]
+	h := e.lanes[l]
+	idx := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	e.lanes[l] = h[:last]
 	if last > 0 {
-		e.siftDown(0)
+		e.siftDown(e.lanes[l], 0)
 	}
 	ev := e.arena[idx]
 	e.arena[idx] = event{} // release the closure/handler references
@@ -183,7 +309,13 @@ func (e *Engine) Step() bool {
 }
 
 // Pending returns the number of scheduled events.
-func (e *Engine) Pending() int { return len(e.heap) }
+func (e *Engine) Pending() int {
+	n := 0
+	for l := 0; l < len(e.lanes); l++ {
+		n += len(e.lanes[l])
+	}
+	return n
+}
 
 // Run executes events until the queue drains or the event budget is
 // exhausted. The budget guards against runaway self-rescheduling loops; a
@@ -202,12 +334,91 @@ func (e *Engine) Run(budget int) {
 // RunUntil executes events with timestamps ≤ t and then advances the clock
 // to exactly t. Events scheduled beyond t remain pending.
 func (e *Engine) RunUntil(t float64) {
-	for len(e.heap) > 0 && e.arena[e.heap[0]].at <= t {
+	for {
+		l := e.minLane()
+		if l < 0 || e.arena[e.lanes[l][0]].at > t {
+			break
+		}
 		e.Step()
 	}
 	if t > e.now {
 		e.now = t
 	}
+}
+
+// EventRecord is the serializable form of one pending handler event. Closure
+// events cannot be captured (a func() has no portable encoding), so
+// checkpointable simulations schedule everything through Handler+arg.
+type EventRecord struct {
+	At   float64
+	Seq  uint64
+	Arg  uint64
+	Lane int32
+}
+
+// ErrClosureEvent is returned by SnapshotEvents when a pending event was
+// scheduled with At/After (a closure) and therefore cannot be serialized.
+var ErrClosureEvent = errors.New("sim: pending closure event is not checkpointable")
+
+// ErrForeignHandler is returned by SnapshotEvents when a pending event
+// targets a Handler other than the one being snapshotted.
+var ErrForeignHandler = errors.New("sim: pending event targets a foreign handler")
+
+// ErrNotFresh is returned by RestoreState when called on an engine that has
+// already scheduled or executed events.
+var ErrNotFresh = errors.New("sim: RestoreState requires a fresh engine")
+
+// SnapshotEvents returns every pending event as an EventRecord, sorted by
+// seq (schedule order). All pending events must be handler events targeting
+// h; a closure or foreign-handler event makes the engine state
+// unserializable and returns an error.
+func (e *Engine) SnapshotEvents(h Handler) ([]EventRecord, error) {
+	out := make([]EventRecord, 0, e.Pending())
+	for _, heap := range e.lanes {
+		for _, idx := range heap {
+			ev := &e.arena[idx]
+			if ev.fn != nil {
+				return nil, ErrClosureEvent
+			}
+			if ev.h != h {
+				return nil, ErrForeignHandler
+			}
+			out = append(out, EventRecord{At: ev.at, Seq: ev.seq, Arg: ev.arg, Lane: ev.lane})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out, nil
+}
+
+// RestoreState rewinds a freshly constructed engine (same seed as the
+// checkpointed one) to a saved state: virtual clock, sequence counter, RNG
+// draw count, and the pending handler events. The engine must not have
+// scheduled or run anything yet. After RestoreState the engine replays
+// byte-identically to the original from the checkpoint onward.
+func (e *Engine) RestoreState(now float64, seq, draws uint64, h Handler, events []EventRecord) error {
+	if e.seq != 0 || e.src.draws != 0 || e.Pending() != 0 || e.now != 0 {
+		return ErrNotFresh
+	}
+	e.now = now
+	for i := uint64(0); i < draws; i++ {
+		e.src.src.Uint64() // advance without counting; the count is set below
+	}
+	e.src.draws = draws
+	for _, rec := range events {
+		if rec.Seq <= 0 || rec.Seq > seq {
+			return errors.New("sim: event seq outside checkpointed range")
+		}
+		lane := int(rec.Lane) % len(e.lanes)
+		if lane < 0 {
+			lane = -lane
+		}
+		e.arena = append(e.arena, event{at: rec.At, seq: rec.Seq, h: h, arg: rec.Arg, lane: int32(lane)})
+		idx := int32(len(e.arena) - 1)
+		e.lanes[lane] = append(e.lanes[lane], idx)
+		e.siftUp(e.lanes[lane], len(e.lanes[lane])-1)
+	}
+	e.seq = seq
+	return nil
 }
 
 // Jitter samples a latency from a truncated shifted-exponential

@@ -1,0 +1,140 @@
+package txpool
+
+import (
+	"fmt"
+	"sort"
+
+	"toposhot/internal/types"
+)
+
+// EntrySnapshot is the serializable form of one live pool entry.
+type EntrySnapshot struct {
+	Tx      *types.Transaction
+	Added   float64
+	Seq     uint64
+	Pending bool
+}
+
+// NonceSnapshot records one sender's chain nonce.
+type NonceSnapshot struct {
+	Addr  types.Address
+	Nonce uint64
+}
+
+// Snapshot is a complete, restorable image of a pool's observable state.
+//
+// Entries hold the live transactions in admission (age-queue) order. The two
+// heap layouts are preserved verbatim as index lists into Entries:
+// priceHeap's comparator is not a total order (it prefers futures over
+// pendings only at equal price), so rebuilding the heap by re-pushing could
+// produce a different — still valid, but not byte-identical — eviction
+// sequence. Copying the array layout reproduces the exact heap the original
+// pool would have used. Dead age-queue entries (lazily skipped tombstones)
+// are dropped: they have no observable effect.
+type Snapshot struct {
+	Entries     []EntrySnapshot
+	PriceOrder  []int32 // price-heap array layout, indices into Entries
+	FutureOrder []int32 // future-heap array layout, indices into Entries
+	StateNonces []NonceSnapshot
+	AdmitSeq    uint64
+	Now         float64
+	BaseFee     uint64
+}
+
+// Snapshot captures the pool's restorable state. The policy is not included
+// — it is configuration, carried separately by the caller.
+func (p *Pool) Snapshot() Snapshot {
+	var s Snapshot
+	index := make(map[*entry]int32, len(p.all))
+	s.Entries = make([]EntrySnapshot, 0, len(p.all))
+	for _, e := range p.ageQueue {
+		if e.heapIdx < 0 {
+			continue // tombstone: removed, awaiting lazy skip
+		}
+		index[e] = int32(len(s.Entries))
+		s.Entries = append(s.Entries, EntrySnapshot{Tx: e.tx, Added: e.added, Seq: e.seq, Pending: e.pending})
+	}
+	s.PriceOrder = make([]int32, len(p.price))
+	for i, e := range p.price {
+		s.PriceOrder[i] = index[e]
+	}
+	s.FutureOrder = make([]int32, len(p.futures))
+	for i, e := range p.futures {
+		s.FutureOrder[i] = index[e]
+	}
+	s.StateNonces = make([]NonceSnapshot, 0, len(p.stateNonce))
+	for addr, nonce := range p.stateNonce {
+		s.StateNonces = append(s.StateNonces, NonceSnapshot{Addr: addr, Nonce: nonce})
+	}
+	sort.Slice(s.StateNonces, func(i, j int) bool {
+		return string(s.StateNonces[i].Addr[:]) < string(s.StateNonces[j].Addr[:])
+	})
+	s.AdmitSeq = p.admitSeq
+	s.Now = p.now
+	s.BaseFee = p.baseFee
+	return s
+}
+
+// RestorePool reconstructs a pool from a snapshot under the given policy.
+// The restored pool is behaviorally byte-identical to the snapshotted one:
+// same admission sequence numbers, same heap array layouts, same expiry
+// order.
+func RestorePool(policy Policy, s Snapshot) (*Pool, error) {
+	p := New(policy)
+	ents := make([]*entry, len(s.Entries))
+	for i, es := range s.Entries {
+		if es.Tx == nil {
+			return nil, fmt.Errorf("txpool: snapshot entry %d has no transaction", i)
+		}
+		e := &entry{tx: es.Tx, added: es.Added, seq: es.Seq, pending: es.Pending, heapIdx: -1, futIdx: -1}
+		ents[i] = e
+		h := es.Tx.Hash()
+		if _, dup := p.all[h]; dup {
+			return nil, fmt.Errorf("txpool: duplicate transaction %v in snapshot", h)
+		}
+		p.all[h] = e
+		m := p.bySender[es.Tx.From]
+		if m == nil {
+			m = make(map[uint64]*entry)
+			p.bySender[es.Tx.From] = m
+		}
+		m[es.Tx.Nonce] = e
+		p.ageQueue = append(p.ageQueue, e)
+		if es.Pending {
+			p.pendingCount++
+			p.senderPending[es.Tx.From]++
+		} else {
+			p.futureCount++
+			p.senderFuture[es.Tx.From]++
+		}
+	}
+	if len(s.PriceOrder) != len(ents) {
+		return nil, fmt.Errorf("txpool: price-heap layout covers %d of %d entries", len(s.PriceOrder), len(ents))
+	}
+	p.price = make(priceHeap, len(s.PriceOrder))
+	for i, idx := range s.PriceOrder {
+		if idx < 0 || int(idx) >= len(ents) || ents[idx].heapIdx != -1 {
+			return nil, fmt.Errorf("txpool: invalid price-heap slot %d → %d", i, idx)
+		}
+		p.price[i] = ents[idx]
+		ents[idx].heapIdx = i
+	}
+	p.futures = make(futureHeap, len(s.FutureOrder))
+	for i, idx := range s.FutureOrder {
+		if idx < 0 || int(idx) >= len(ents) || ents[idx].futIdx != -1 || ents[idx].pending {
+			return nil, fmt.Errorf("txpool: invalid future-heap slot %d → %d", i, idx)
+		}
+		p.futures[i] = ents[idx]
+		ents[idx].futIdx = i
+	}
+	if len(p.futures) != p.futureCount {
+		return nil, fmt.Errorf("txpool: future heap holds %d of %d futures", len(p.futures), p.futureCount)
+	}
+	for _, ns := range s.StateNonces {
+		p.stateNonce[ns.Addr] = ns.Nonce
+	}
+	p.admitSeq = s.AdmitSeq
+	p.now = s.Now
+	p.baseFee = s.BaseFee
+	return p, nil
+}
