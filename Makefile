@@ -56,3 +56,4 @@ fuzz:
 	$(GO) test -fuzz=FuzzFrameParse -fuzztime=30s ./internal/wire/
 	$(GO) test -fuzz=FuzzEventQueue -fuzztime=30s ./internal/sim/
 	$(GO) test -fuzz=FuzzTraceJSONL -fuzztime=30s ./internal/trace/
+	$(GO) test -fuzz=FuzzDynamicGraph -fuzztime=30s ./internal/graph/

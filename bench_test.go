@@ -396,6 +396,55 @@ func BenchmarkEclipseRiskAnalysis(b *testing.B) {
 	}
 }
 
+// benchTrackingConfig sizes the churning-goerli incremental-tracking
+// campaign: the seeding census is the expensive part, so the node counts sit
+// below the census suite's (tracking re-censuses nothing — that is the
+// point).
+func benchTrackingConfig() experiments.TrackingConfig {
+	cfg := experiments.GoerliTracking(benchSeed)
+	switch {
+	case testing.Short():
+		cfg.Census.Grow = cfg.Census.Grow.WithN(48)
+	case os.Getenv("TOPOSHOT_FULL") == "":
+		cfg.Census.Grow = cfg.Census.Grow.WithN(96)
+	default:
+		cfg.Census.Grow = cfg.Census.Grow.WithN(192)
+	}
+	return cfg
+}
+
+// BenchmarkIncrementalTracking follows a churning goerli-shaped network with
+// budgeted delta campaigns and reports the cost of staying current versus
+// re-running the full census every tick. The ≥5× cost-reduction and ≤2
+// percentage-point recall-loss floors are the feature's acceptance bars; the
+// benchmark fails outright if a regression sinks either.
+func BenchmarkIncrementalTracking(b *testing.B) {
+	cfg := benchTrackingConfig()
+	for i := 0; i < b.N; i++ {
+		tr, err := experiments.RunTracking(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			benchPrint(b, experiments.FormatTracking(tr))
+			costX, loss := tr.CostReductionX(), tr.RecallLoss()
+			if costX < 5 {
+				b.Fatalf("delta campaigns only %.1fx cheaper than census-per-tick (floor 5x)", costX)
+			}
+			if loss > 0.02 {
+				b.Fatalf("tracking recall loss %.4f exceeds the 0.02 floor (census %.4f, mean %.4f)",
+					loss, tr.CensusScore.Recall(), tr.MeanRecall)
+			}
+			b.ReportMetric(costX, "cost-reduction-x")
+			b.ReportMetric(tr.VirtualReductionX(), "virtual-cost-reduction-x")
+			b.ReportMetric(100*loss, "recall-loss-pp")
+			b.ReportMetric(100*tr.MeanRecall, "recall-%")
+			b.ReportMetric(100*tr.FinalScore.Precision(), "precision-%")
+			b.ReportMetric(float64(tr.ChurnEvents), "churn-events")
+		}
+	}
+}
+
 // benchScaleConfig sizes the region-sharded mainnet census for the suite's
 // scale: the full 50k-node MainnetConfig under TOPOSHOT_FULL=1, a 1/32
 // population (same region granularity) by default, and 1/64 for -short.

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 
 	"toposhot/internal/core"
+	"toposhot/internal/tracker"
 	"toposhot/internal/types"
 )
 
@@ -25,7 +26,26 @@ type backPair struct {
 	V  int
 }
 
-// campaignMeta is the JSON tail of a checkpoint file.
+// trackingMeta is the checkpoint tail of a -track run: the tracker snapshot
+// plus the seeding-census baselines and cumulative tracker spend the resumed
+// summary arithmetic needs (the continuation cannot re-measure them).
+type trackingMeta struct {
+	State      *tracker.State
+	TicksDone  int
+	EventIndex int
+
+	BaselineTxs      int
+	BaselineEther    float64
+	BaselineDuration float64
+	CensusScore      core.Score
+
+	TrackerTxs      int
+	TrackerEther    float64
+	TrackerDuration float64
+}
+
+// campaignMeta is the JSON tail of a checkpoint file. Exactly one of
+// Campaign (a full-census campaign) and Tracking (a -track run) is set.
 type campaignMeta struct {
 	Seed       int64
 	K          int
@@ -36,7 +56,8 @@ type campaignMeta struct {
 	Super    int
 	Targets  []types.NodeID
 	Back     []backPair
-	Campaign *core.CampaignState
+	Campaign *core.CampaignState `json:",omitempty"`
+	Tracking *trackingMeta       `json:",omitempty"`
 }
 
 // writeCheckpoint persists {magic, len(blob), blob, meta-JSON} atomically:
@@ -91,8 +112,8 @@ func readCheckpoint(path string) ([]byte, *campaignMeta, error) {
 	if err := json.Unmarshal(rest[n:], meta); err != nil {
 		return nil, nil, fmt.Errorf("%s: checkpoint meta: %w", path, err)
 	}
-	if meta.Campaign == nil {
-		return nil, nil, fmt.Errorf("%s: checkpoint has no campaign state", path)
+	if meta.Campaign == nil && meta.Tracking == nil {
+		return nil, nil, fmt.Errorf("%s: checkpoint has neither campaign nor tracking state", path)
 	}
 	return blob, meta, nil
 }

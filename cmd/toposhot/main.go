@@ -41,6 +41,10 @@ func main() {
 	checkpointEvery := flag.Int("checkpoint-every", 25, "batches between checkpoint writes under -checkpoint")
 	resumeFrom := flag.String("resume", "", "resume a campaign from a checkpoint file written by -checkpoint (skips network build and pre-processing)")
 	strat := flag.String("strategy", "toposhot", "measurement method: toposhot|dethna|txprobe|ethna (non-toposhot methods probe all eligible pairs)")
+	track := flag.Bool("track", false, "after the seeding census, follow the churning network with budgeted delta campaigns instead of re-censusing")
+	trackTicks := flag.Int("track-ticks", 12, "delta campaigns to run under -track")
+	trackBudget := flag.Int("track-budget", 72, "pairs re-probed per delta campaign under -track")
+	trackChurn := flag.Float64("track-churn", 20, "mean virtual seconds between peer-churn events under -track")
 	out := flag.String("out", "", "output file (default stdout)")
 	uniform := flag.Bool("uniform", false, "all-default nodes (no heterogeneity)")
 	parallel := flag.Int("parallel", 0, "worker-pool width for independent simulations (0 = GOMAXPROCS, 1 = serial); results are identical at any width")
@@ -151,6 +155,23 @@ func main() {
 		return
 	}
 
+	// Tracking mode: one seeding census, then per-tick delta campaigns over
+	// the churning network. Checkpoints carry the engine blob (churn registry
+	// included) plus the tracker snapshot, so -resume continues mid-campaign.
+	if *track {
+		if *strat != string(strategy.MethodTopoShot) {
+			fmt.Fprintln(os.Stderr, "-track supports only the toposhot strategy")
+			os.Exit(2)
+		}
+		runTracking(trackingFlags{
+			grow: grow, het: het, preset: *preset, seed: *seed, k: *k, lanes: *lanes,
+			ticks: *trackTicks, budget: *trackBudget, churn: *trackChurn,
+			checkpoint: *checkpoint, checkpointEvery: *checkpointEvery, resumeFrom: *resumeFrom,
+			out: *out, flushTrace: flushTrace,
+		})
+		return
+	}
+
 	// Monolithic mode: one engine hosts the whole network. Either build it
 	// fresh or restore world + campaign position from a checkpoint file.
 	var (
@@ -168,6 +189,10 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
+		}
+		if meta.Campaign == nil {
+			fmt.Fprintf(os.Stderr, "%s: a tracking checkpoint; resume it with -track\n", *resumeFrom)
+			os.Exit(2)
 		}
 		net, err = ethsim.RestoreNetworkLanes(blob, *lanes)
 		if err != nil {

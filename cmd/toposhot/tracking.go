@@ -1,0 +1,146 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"toposhot/internal/experiments"
+	"toposhot/internal/netgen"
+	"toposhot/internal/tracker"
+	"toposhot/internal/types"
+)
+
+// trackingFlags bundles the CLI state the -track mode consumes.
+type trackingFlags struct {
+	grow   netgen.GrowConfig
+	het    netgen.Heterogeneity
+	preset string
+	seed   int64
+	k      int
+	lanes  int
+
+	ticks  int
+	budget int
+	churn  float64
+
+	checkpoint      string
+	checkpointEvery int
+	resumeFrom      string
+
+	out        string
+	flushTrace func() error
+}
+
+// runTracking drives experiments.RunTracking from the CLI: seeding census,
+// churn, per-tick delta campaigns, optional per-tick resumable checkpoints,
+// and the final belief edge list on -out.
+func runTracking(f trackingFlags) {
+	name := f.preset
+	if name == "" {
+		name = "custom"
+	}
+	cfg := experiments.TrackingConfig{
+		Census: experiments.CensusConfig{
+			Name: name, Grow: f.grow, Het: f.het, Seed: f.seed,
+			PoolScale: 0.1, GroupK: f.k, EdgeBudget: 144, Prefill: 300,
+		},
+		Ticks:           f.ticks,
+		TickSeconds:     120,
+		Tracker:         tracker.Config{Budget: f.budget, HalfLife: 6, MinConfidence: 0.25},
+		ChurnInterval:   f.churn,
+		ChurnRemoveFrac: 0.5,
+		HintEvery:       2,
+		Lanes:           f.lanes,
+	}
+
+	if f.resumeFrom != "" {
+		blob, meta, err := readCheckpoint(f.resumeFrom)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if meta.Tracking == nil {
+			fmt.Fprintf(os.Stderr, "%s: a census-campaign checkpoint; resume it without -track\n", f.resumeFrom)
+			os.Exit(2)
+		}
+		back := make(map[types.NodeID]int, len(meta.Back))
+		for _, p := range meta.Back {
+			back[p.ID] = p.V
+		}
+		cfg.Resume = &experiments.TrackingResume{
+			Blob:             blob,
+			Tracker:          meta.Tracking.State,
+			TicksDone:        meta.Tracking.TicksDone,
+			Super:            meta.Super,
+			EventIndex:       meta.Tracking.EventIndex,
+			Back:             back,
+			BaselineTxs:      meta.Tracking.BaselineTxs,
+			BaselineEther:    meta.Tracking.BaselineEther,
+			BaselineDuration: meta.Tracking.BaselineDuration,
+			CensusScore:      meta.Tracking.CensusScore,
+			TrackerTxs:       meta.Tracking.TrackerTxs,
+			TrackerEther:     meta.Tracking.TrackerEther,
+			TrackerDuration:  meta.Tracking.TrackerDuration,
+		}
+		fmt.Fprintf(os.Stderr, "resumed %s: tracking at tick %d/%d, %d tracked pairs, %d probe txs spent\n",
+			f.resumeFrom, meta.Tracking.TicksDone, f.ticks,
+			len(meta.Tracking.State.Pairs), meta.Tracking.TrackerTxs)
+	}
+
+	if f.checkpoint != "" {
+		every := f.checkpointEvery
+		if every < 1 {
+			every = 1
+		}
+		cfg.OnTick = func(tt *experiments.TrackingTick) error {
+			if tt.Tick%every != 0 && tt.Tick != f.ticks {
+				return nil
+			}
+			blob, err := tt.Net.Checkpoint()
+			if err != nil {
+				return err
+			}
+			meta := &campaignMeta{
+				Seed: f.seed, K: f.k, EdgeBudget: 144, Super: tt.Super,
+				Targets: tt.Tracker.Targets(),
+				Tracking: &trackingMeta{
+					State:            tt.Tracker.State(),
+					TicksDone:        tt.Tick,
+					EventIndex:       tt.EventIndex,
+					BaselineTxs:      tt.Run.BaselineTxs,
+					BaselineEther:    tt.Run.BaselineEther,
+					BaselineDuration: tt.Run.BaselineDuration,
+					CensusScore:      tt.Run.CensusScore,
+					TrackerTxs:       tt.Txs,
+					TrackerEther:     tt.Ether,
+					TrackerDuration:  tt.TotalDuration,
+				},
+			}
+			for id, v := range tt.Back {
+				meta.Back = append(meta.Back, backPair{ID: id, V: v})
+			}
+			return writeCheckpoint(f.checkpoint, blob, meta)
+		}
+	}
+
+	tr, err := experiments.RunTracking(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracking failed: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprint(os.Stderr, experiments.FormatTracking(tr))
+	if err := f.flushTrace(); err != nil {
+		fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+		os.Exit(1)
+	}
+
+	bw, closeOut := openOutput(f.out)
+	defer closeOut()
+	for _, e := range tr.Belief.Edges() {
+		va, okA := tr.Back[e[0]]
+		vb, okB := tr.Back[e[1]]
+		if okA && okB {
+			fmt.Fprintf(bw, "%d %d\n", va, vb)
+		}
+	}
+}

@@ -16,7 +16,8 @@ import (
 // checkpoint is a byte-exact continuation artifact, not an interchange
 // format — carrying forward state through a layout change cannot preserve
 // replay identity, which is the whole point of resuming (DESIGN.md §12).
-const checkpointVersion = 1
+// Version 2 appended the churn-process registry to the root list.
+const checkpointVersion = 2
 
 // Checkpoint serializes the complete simulation state — engine clock, event
 // queue, RNG position, every node's mempool and adjacency segment, in-flight
@@ -62,6 +63,10 @@ func (n *Network) Checkpoint() ([]byte, error) {
 	for i, w := range n.workloads {
 		workItems[i] = encodeWorkload(w)
 	}
+	churnItems := make([]rlp.Item, len(n.churns))
+	for i, c := range n.churns {
+		churnItems[i] = encodeChurn(c)
+	}
 
 	eventItems := make([]rlp.Item, len(events))
 	for i, ev := range events {
@@ -88,6 +93,7 @@ func (n *Network) Checkpoint() ([]byte, error) {
 		listOf(janItems),
 		listOf(superItems),
 		listOf(workItems),
+		listOf(churnItems),
 	)
 	return rlp.Encode(root), nil
 }
@@ -311,6 +317,22 @@ func encodeWorkload(w *Workload) rlp.Item {
 	)
 }
 
+// encodeChurn captures a churn process's restorable state: configuration,
+// population, stop flag, and RNG position. The event log is observation
+// state, deliberately dropped (see the Churn doc comment).
+func encodeChurn(c *Churn) rlp.Item {
+	popItems := make([]rlp.Item, len(c.pop))
+	for i, id := range c.pop {
+		popItems[i] = rlp.Uint(uint64(id))
+	}
+	return rlp.List(
+		f64Item(c.cfg.Interval), f64Item(c.cfg.Start), f64Item(c.cfg.StopAt),
+		f64Item(c.cfg.RemoveFrac),
+		boolItem(c.stopped), rlp.Uint(c.crng.Draws()),
+		listOf(popItems),
+	)
+}
+
 func lessAddr(a, b types.Address) bool { return string(a[:]) < string(b[:]) }
 
 // ---------------------------------------------------------------------------
@@ -513,7 +535,7 @@ func RestoreNetworkLanes(data []byte, lanes int) (*Network, error) {
 		return nil, fmt.Errorf("ethsim: restore: %w", err)
 	}
 	d := &dec{}
-	top := d.list(root, 11, "checkpoint")
+	top := d.list(root, 12, "checkpoint")
 	if d.err != nil {
 		return nil, d.err
 	}
@@ -743,6 +765,30 @@ func RestoreNetworkLanes(data []byte, lanes int) (*Network, error) {
 			w.sinks = append(w.sinks, types.NodeID(d.u64(sk, "workload sink")))
 		}
 		n.workloads = append(n.workloads, w)
+	}
+
+	for _, p := range d.list(top[11], -1, "churns") {
+		cf := d.list(p, 7, "churn")
+		if d.err != nil {
+			return nil, d.err
+		}
+		cfg := ChurnConfig{
+			Interval:   d.f64(cf[0], "churn interval"),
+			Start:      d.f64(cf[1], "churn start"),
+			StopAt:     d.f64(cf[2], "churn stop at"),
+			RemoveFrac: d.f64(cf[3], "churn remove frac"),
+		}
+		for _, id := range d.list(cf[6], -1, "churn population") {
+			cfg.Population = append(cfg.Population, types.NodeID(d.u64(id, "churn member")))
+		}
+		if d.err != nil {
+			return nil, d.err
+		}
+		// addChurn registers without arming: the pending tick (if any) is
+		// already in the restored event queue.
+		c := n.addChurn(cfg)
+		c.stopped = d.boolean(cf[4], "churn stopped")
+		c.crng.FastForward(d.u64(cf[5], "churn rng draws"))
 	}
 
 	ef := d.list(top[2], 4, "engine")

@@ -150,6 +150,7 @@ const (
 	argKindFlush    = 1 // payload: dense node index
 	argKindJanitor  = 2 // payload: janitorIntervals index
 	argKindWorkload = 3 // payload: workloads registry index
+	argKindChurn    = 4 // payload: churns registry index
 )
 
 // netMsg is one pooled in-flight message: kind, payload, and destination.
@@ -219,6 +220,10 @@ type Network struct {
 	// workloads registers every workload attached to this network; the
 	// workload tick event's payload indexes it.
 	workloads []*Workload
+
+	// churns registers every churn process attached to this network; the
+	// churn tick event's payload indexes it.
+	churns []*Churn
 
 	// supers registers every supernode attached to this network, in creation
 	// order (checkpoint restore re-binds their observation hooks).
@@ -516,6 +521,8 @@ func (n *Network) HandleEvent(arg uint64) {
 		n.eng.AtHandlerLane(n.eng.Now()+n.janitorIntervals[arg&argPayload], n, arg, 0)
 	case argKindWorkload:
 		n.workloads[arg&argPayload].tick()
+	case argKindChurn:
+		n.churns[arg&argPayload].tick()
 	}
 }
 

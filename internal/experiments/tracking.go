@@ -1,0 +1,450 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"toposhot/internal/core"
+	"toposhot/internal/ethsim"
+	"toposhot/internal/graph"
+	"toposhot/internal/netgen"
+	"toposhot/internal/runner"
+	"toposhot/internal/tracker"
+	"toposhot/internal/txpool"
+	"toposhot/internal/types"
+)
+
+// TrackingConfig sizes an incremental-tracking experiment: one seeding
+// census, then a churning network followed tick-by-tick with budgeted delta
+// campaigns instead of full recomputes.
+type TrackingConfig struct {
+	// Census configures the network build and the seeding full census, which
+	// is also the per-tick cost baseline the delta campaigns are compared to.
+	Census CensusConfig
+	// Ticks is the number of delta campaigns after the seeding census.
+	Ticks int
+	// TickSeconds is the virtual idle time between campaigns (the network
+	// churns during it).
+	TickSeconds float64
+	// Tracker is the delta-campaign planner configuration (budget in pairs
+	// per tick, confidence half-life in ticks, staleness cutoff).
+	Tracker tracker.Config
+	// ChurnInterval is the mean virtual seconds between single-link churn
+	// events; ChurnRemoveFrac the teardown share (0.5 = steady density).
+	ChurnInterval   float64
+	ChurnRemoveFrac float64
+	// HintEvery feeds every k-th churn event to Tracker.Observe, modelling a
+	// session crawler (à la Ethna) that tips the tracker off about *some*
+	// churn; the rest must be found by the staleness sweep. 0 disables hints,
+	// 1 hints everything.
+	HintEvery int
+	// Lanes is the engine lane count (wall-clock only, never results).
+	Lanes int
+	// OnTick, when set, observes each completed tick with checkpointing
+	// access to the live network and tracker (the CLI writes resumable
+	// checkpoints from it). An error aborts the run.
+	OnTick func(t *TrackingTick) error
+	// Resume, when set, skips the network build and seeding census and
+	// continues a checkpointed run.
+	Resume *TrackingResume
+}
+
+// TrackingResume carries everything a checkpointed tracking run needs to
+// continue: the engine blob (ethsim checkpoint v2, churn registry included),
+// the tracker snapshot, and the seeding-census baselines that the summary
+// arithmetic needs but the continuation cannot re-measure.
+type TrackingResume struct {
+	Blob      []byte
+	Tracker   *tracker.State
+	TicksDone int
+	// Super is the measurer supernode's index in Network.Supernodes().
+	Super int
+	// EventIndex continues the churn-hint parity across the restart (the
+	// restored churn log itself restarts empty).
+	EventIndex int
+	// Back is the NodeID→vertex mapping for edge output, carried verbatim.
+	Back map[types.NodeID]int
+	// Seeding-census baselines, carried verbatim.
+	BaselineTxs      int
+	BaselineEther    float64
+	BaselineDuration float64
+	CensusScore      core.Score
+	// Tracker spend before the checkpoint, so the summary arithmetic stays
+	// cumulative across restarts (the continuation's ledger starts empty).
+	TrackerTxs      int
+	TrackerEther    float64
+	TrackerDuration float64
+}
+
+// TrackingTick is one completed delta campaign.
+type TrackingTick struct {
+	Tick   int
+	Report tracker.TickReport
+	// Score compares the post-tick belief with the live ground truth over
+	// tracked pairs.
+	Score core.Score
+	// Txs is the cumulative tracker probe-transaction count; Duration the
+	// virtual seconds this tick's probes took; Ether and TotalDuration the
+	// cumulative spend (both carried across resumes).
+	Txs           int
+	Duration      float64
+	Ether         float64
+	TotalDuration float64
+
+	// Live handles for OnTick checkpointing; nil in the stored results. Run
+	// is the in-progress result — its seeding-census baselines are final.
+	Net     *ethsim.Network  `json:"-"`
+	Tracker *tracker.Tracker `json:"-"`
+	Run     *Tracking        `json:"-"`
+	// Checkpoint context for OnTick: the NodeID→vertex mapping, the measurer
+	// supernode's registry index, and the churn hint-parity cursor — exactly
+	// the TrackingResume fields a continuation needs.
+	Back       map[types.NodeID]int `json:"-"`
+	Super      int
+	EventIndex int
+}
+
+// Tracking is a completed incremental-tracking run.
+type Tracking struct {
+	Config  TrackingConfig
+	Targets int
+	// Seeding census baselines: probe transactions, worst-case cost, virtual
+	// duration, and score against the pre-churn truth.
+	BaselineTxs      int
+	BaselineEther    float64
+	BaselineDuration float64
+	CensusScore      core.Score
+	// Tracker totals across all ticks.
+	TrackerTxs      int
+	TrackerEther    float64
+	TrackerDuration float64
+	ChurnEvents     int
+	Ticks           []TrackingTick
+	// Belief is the final tracked edge set; FinalState its serialized form.
+	Belief     *core.EdgeSet
+	FinalState *tracker.State
+	// Back maps NodeIDs to the generated graph's vertex ids (edge output).
+	Back map[types.NodeID]int
+	// FinalScore is the last tick's score; MeanRecall/MinRecall summarize
+	// the per-tick recall trajectory.
+	FinalScore core.Score
+	MeanRecall float64
+	MinRecall  float64
+}
+
+// CostReductionX is the transaction-cost ratio of re-running the seeding
+// census every tick versus the tracker's delta campaigns.
+func (t *Tracking) CostReductionX() float64 {
+	if t.TrackerTxs == 0 {
+		return math.Inf(1)
+	}
+	// Config.Ticks, not len(Ticks): a resumed run holds only the continuation
+	// ticks but its spend totals are cumulative.
+	return float64(t.Config.Ticks*t.BaselineTxs) / float64(t.TrackerTxs)
+}
+
+// VirtualReductionX is the same ratio in virtual measurement time.
+func (t *Tracking) VirtualReductionX() float64 {
+	if t.TrackerDuration == 0 {
+		return math.Inf(1)
+	}
+	return float64(t.Config.Ticks) * t.BaselineDuration / t.TrackerDuration
+}
+
+// RecallLoss is the seeding census's recall minus the tracked mean recall —
+// what staying incremental costs in coverage.
+func (t *Tracking) RecallLoss() float64 {
+	return t.CensusScore.Recall() - t.MeanRecall
+}
+
+// GoerliTracking returns the Goerli-shaped tracking campaign the benchmarks
+// and the CI smoke job run (rescaled via Census.Grow.WithN as usual).
+func GoerliTracking(seed int64) TrackingConfig {
+	return TrackingConfig{
+		Census:          GoerliCensus(seed),
+		Ticks:           12,
+		TickSeconds:     120,
+		Tracker:         tracker.Config{Budget: 72, HalfLife: 6, MinConfidence: 0.25},
+		ChurnInterval:   20,
+		ChurnRemoveFrac: 0.5,
+		HintEvery:       2,
+	}
+}
+
+// RunTracking seeds a tracker with one full census, starts peer churn, and
+// then follows the evolving topology with budgeted delta campaigns, scoring
+// the belief graph against live ground truth after every tick. Each tick
+// also cross-checks the belief's incremental O(Δ) statistics against a batch
+// recompute (bit-for-bit, runner-parallel) — the Dynamic-equivalence
+// invariant, enforced end to end.
+func RunTracking(cfg TrackingConfig) (*Tracking, error) {
+	if cfg.Ticks <= 0 {
+		return nil, fmt.Errorf("tracking: Ticks must be positive, got %d", cfg.Ticks)
+	}
+
+	var (
+		net       *ethsim.Network
+		super     *ethsim.Supernode
+		targets   []types.NodeID
+		trk       *tracker.Tracker
+		probe     *tracker.GroupedProber
+		back      map[types.NodeID]int
+		superIdx  int
+		startTick int
+		churnSeen int
+	)
+	out := &Tracking{Config: cfg}
+
+	params := core.DefaultParams()
+	params.Z = int(float64(txpool.Geth.Capacity) * cfg.Census.PoolScale)
+	params.SettleTime = 6
+
+	if cfg.Resume != nil {
+		var err error
+		net, err = ethsim.RestoreNetworkLanes(cfg.Resume.Blob, cfg.Lanes)
+		if err != nil {
+			return nil, fmt.Errorf("tracking: restore engine: %w", err)
+		}
+		supers := net.Supernodes()
+		if cfg.Resume.Super < 0 || cfg.Resume.Super >= len(supers) {
+			return nil, fmt.Errorf("tracking: restore: supernode index %d out of range (have %d)",
+				cfg.Resume.Super, len(supers))
+		}
+		super = supers[cfg.Resume.Super]
+		if len(net.Churns()) == 0 {
+			return nil, fmt.Errorf("tracking: restored engine has no churn process")
+		}
+		probe = tracker.NewGroupedProber(core.NewMeasurer(net, super, params))
+		probe.MaxPairs = cfg.Census.EdgeBudget
+		trk, err = tracker.Restore(cfg.Resume.Tracker, cfg.Tracker, probe)
+		if err != nil {
+			return nil, fmt.Errorf("tracking: restore tracker: %w", err)
+		}
+		targets = trk.Targets()
+		back = cfg.Resume.Back
+		superIdx = cfg.Resume.Super
+		startTick = cfg.Resume.TicksDone
+		churnSeen = cfg.Resume.EventIndex
+		out.BaselineTxs = cfg.Resume.BaselineTxs
+		out.BaselineEther = cfg.Resume.BaselineEther
+		out.BaselineDuration = cfg.Resume.BaselineDuration
+		out.CensusScore = cfg.Resume.CensusScore
+	} else {
+		// Fresh run: build the network exactly like RunCensus and seed the
+		// tracker with a full census — the per-tick baseline being beaten.
+		g := netgen.Grow(cfg.Census.Grow)
+		netCfg := ethsim.DefaultConfig(cfg.Census.Seed)
+		netCfg.LatencyTail = 0.05
+		netCfg.LatencyMax = 1.0
+		netCfg.Lanes = cfg.Lanes
+		net = ethsim.NewNetwork(netCfg)
+		het := cfg.Census.Het
+		het.Expiry = censusExpiry
+		inst := netgen.InstantiateScaled(net, g, het, cfg.Census.Seed, cfg.Census.PoolScale)
+		super = ethsim.NewSupernode(net)
+		super.ConnectAll()
+		super.SetEstimatorPolicy(txpool.Geth.
+			WithCapacity(int(float64(txpool.Geth.Capacity) * cfg.Census.PoolScale)).
+			WithExpiry(censusExpiry))
+		net.StartJanitor(30)
+
+		w := ethsim.NewWorkload(net, censusBackgroundRate, types.Gwei/10, 2*types.Gwei)
+		w.Prefill(cfg.Census.Prefill, 5)
+		w.Start(0)
+
+		back = inst.Back
+		for i, s := range net.Supernodes() {
+			if s == super {
+				superIdx = i
+			}
+		}
+
+		m := core.NewMeasurer(net, super, params)
+		pre := m.Preprocess(inst.IDs)
+		targets = pre.EligibleNodes(inst.IDs)
+		if len(targets) < 2 {
+			return nil, fmt.Errorf("tracking: only %d eligible nodes", len(targets))
+		}
+
+		preTxs := m.Ledger.PendingCount() + m.Ledger.FutureCount()
+		res, err := m.MeasureNetwork(targets, cfg.Census.GroupK, cfg.Census.EdgeBudget)
+		if err != nil {
+			return nil, fmt.Errorf("tracking: seeding census: %w", err)
+		}
+		out.BaselineTxs = m.Ledger.PendingCount() + m.Ledger.FutureCount() - preTxs
+		out.BaselineEther = core.Ether(m.Ledger.WorstCaseWei())
+		out.BaselineDuration = res.Duration
+		out.CensusScore = scoreTracked(res.Detected, net, targets)
+
+		// The tracker probes on its own measurer so the delta-campaign ledger
+		// is cleanly separable from the seeding census's.
+		probe = tracker.NewGroupedProber(core.NewMeasurer(net, super, params))
+		probe.MaxPairs = cfg.Census.EdgeBudget
+		trk, err = tracker.New(cfg.Tracker, targets, res.Detected, probe)
+		if err != nil {
+			return nil, err
+		}
+
+		// Churn starts only now: the census seeded a stable graph.
+		net.StartChurn(ethsim.ChurnConfig{
+			Interval:   cfg.ChurnInterval,
+			RemoveFrac: cfg.ChurnRemoveFrac,
+			Population: targets,
+		})
+	}
+	out.Targets = len(targets)
+
+	churn := net.Churns()[0]
+	ledger := probe.Measurer().Ledger
+	cursor := 0 // churn-log read position (resets with the log on restore)
+	baseTxs, baseEther := 0, 0.0
+	if cfg.Resume != nil {
+		baseTxs, baseEther = cfg.Resume.TrackerTxs, cfg.Resume.TrackerEther
+		out.TrackerDuration = cfg.Resume.TrackerDuration
+	}
+	recallSum, minRecall := 0.0, math.Inf(1)
+
+	// drainHints feeds every HintEvery-th unread churn event to the tracker
+	// (parity continues across checkpoints via churnSeen). It runs both
+	// before a tick — the idle-window churn — and after it — churn raised
+	// while the probes themselves ran — so at checkpoint time no event is
+	// pending outside the tracker's (serialized) state.
+	drainHints := func() {
+		for _, ev := range churn.Events(cursor) {
+			if cfg.HintEvery > 0 && churnSeen%cfg.HintEvery == 0 {
+				trk.Observe(ev.A, ev.B)
+			}
+			churnSeen++
+		}
+		cursor = churn.NumEvents()
+	}
+
+	for tick := startTick; tick < cfg.Ticks; tick++ {
+		net.RunFor(cfg.TickSeconds)
+		drainHints()
+
+		t0 := net.Now()
+		rep, err := trk.Tick()
+		if err != nil {
+			return nil, fmt.Errorf("tracking: tick %d: %w", tick+1, err)
+		}
+		drainHints()
+
+		out.TrackerDuration += net.Now() - t0
+		tt := TrackingTick{
+			Tick:          tick + 1,
+			Report:        rep,
+			Score:         scoreTracked(trk.BeliefEdges(), net, targets),
+			Txs:           baseTxs + ledger.PendingCount() + ledger.FutureCount(),
+			Duration:      net.Now() - t0,
+			Ether:         baseEther + core.Ether(ledger.WorstCaseWei()),
+			TotalDuration: out.TrackerDuration,
+			Net:           net,
+			Tracker:       trk,
+			Run:           out,
+			Back:          back,
+			Super:         superIdx,
+			EventIndex:    churnSeen,
+		}
+		if err := verifyBeliefIncremental(trk.Belief()); err != nil {
+			return nil, fmt.Errorf("tracking: tick %d: %w", tick+1, err)
+		}
+		if cfg.OnTick != nil {
+			if err := cfg.OnTick(&tt); err != nil {
+				return nil, fmt.Errorf("tracking: tick %d checkpoint: %w", tick+1, err)
+			}
+		}
+		tt.Net, tt.Tracker, tt.Run, tt.Back = nil, nil, nil, nil
+		out.Ticks = append(out.Ticks, tt)
+		recallSum += tt.Score.Recall()
+		if r := tt.Score.Recall(); r < minRecall {
+			minRecall = r
+		}
+	}
+
+	out.TrackerTxs = baseTxs + ledger.PendingCount() + ledger.FutureCount()
+	out.TrackerEther = baseEther + core.Ether(ledger.WorstCaseWei())
+	out.ChurnEvents = churnSeen
+	out.Belief = trk.BeliefEdges()
+	out.FinalState = trk.State()
+	out.Back = back
+	if n := len(out.Ticks); n > 0 {
+		out.FinalScore = out.Ticks[n-1].Score
+		out.MeanRecall = recallSum / float64(n)
+		out.MinRecall = minRecall
+	}
+	return out, nil
+}
+
+// scoreTracked scores a measured edge set against the network's live ground
+// truth, restricted to pairs with both endpoints tracked.
+func scoreTracked(measured *core.EdgeSet, net *ethsim.Network, targets []types.NodeID) core.Score {
+	truth := core.EdgeSetOf(net.Edges())
+	in := make(map[types.NodeID]bool, len(targets))
+	for _, id := range targets {
+		in[id] = true
+	}
+	return core.ScoreAgainst(measured, truth, func(id types.NodeID) bool { return in[id] })
+}
+
+// verifyBeliefIncremental cross-checks the belief Dynamic's incrementally
+// maintained statistics against a from-scratch batch recompute of its
+// snapshot, bit-for-bit. The comparisons are independent, so they fan out on
+// the shared worker pool.
+func verifyBeliefIncremental(d *graph.Dynamic) error {
+	snap := d.Snapshot()
+	checks := []struct {
+		name      string
+		inc, ref  float64
+		exactInts [2]int
+		isInt     bool
+	}{
+		{name: "nodes", exactInts: [2]int{d.NumNodes(), snap.NumNodes()}, isInt: true},
+		{name: "edges", exactInts: [2]int{d.NumEdges(), snap.NumEdges()}, isInt: true},
+		{name: "components", exactInts: [2]int{d.NumComponents(), len(snap.ConnectedComponents())}, isInt: true},
+		{name: "avgdeg", inc: d.AverageDegree(), ref: snap.AverageDegree()},
+		{name: "clustering", inc: d.ClusteringCoefficient(), ref: snap.ClusteringCoefficient()},
+		{name: "transitivity", inc: d.Transitivity(), ref: snap.Transitivity()},
+		{name: "assortativity", inc: d.DegreeAssortativity(), ref: snap.DegreeAssortativity()},
+	}
+	_, err := runner.MapErr(0, len(checks), func(i int) (struct{}, error) {
+		c := checks[i]
+		if c.isInt {
+			if c.exactInts[0] != c.exactInts[1] {
+				return struct{}{}, fmt.Errorf("belief %s: incremental %d != batch %d",
+					c.name, c.exactInts[0], c.exactInts[1])
+			}
+			return struct{}{}, nil
+		}
+		if math.Float64bits(c.inc) != math.Float64bits(c.ref) {
+			return struct{}{}, fmt.Errorf("belief %s: incremental %v != batch %v (bit mismatch)",
+				c.name, c.inc, c.ref)
+		}
+		return struct{}{}, nil
+	})
+	return err
+}
+
+// FormatTracking renders the per-tick trajectory and the cost/recall summary.
+func FormatTracking(t *Tracking) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "incremental tracking: %s n=%d seed=%d — %d targets, %d ticks, budget %d pairs/tick\n",
+		t.Config.Census.Name, t.Config.Census.Grow.N, t.Config.Census.Seed,
+		t.Targets, len(t.Ticks), t.Config.Tracker.Budget)
+	fmt.Fprintf(&b, "seeding census: %d txs, %.4f ETH, %.2f virtual h, %v\n",
+		t.BaselineTxs, t.BaselineEther, t.BaselineDuration/3600, t.CensusScore)
+	fmt.Fprintf(&b, "%5s %7s %7s %7s %7s %8s %8s %8s\n",
+		"tick", "planned", "urgent", "changed", "failed", "recall", "prec", "cum-txs")
+	for _, tt := range t.Ticks {
+		fmt.Fprintf(&b, "%5d %7d %7d %7d %7d %8.4f %8.4f %8d\n",
+			tt.Tick, tt.Report.Planned, tt.Report.Urgent, tt.Report.Changed, tt.Report.Failed,
+			tt.Score.Recall(), tt.Score.Precision(), tt.Txs)
+	}
+	fmt.Fprintf(&b, "churn: %d events over %d ticks\n", t.ChurnEvents, len(t.Ticks))
+	fmt.Fprintf(&b, "tracker: %d txs, %.4f ETH, %.2f virtual h of probing\n",
+		t.TrackerTxs, t.TrackerEther, t.TrackerDuration/3600)
+	fmt.Fprintf(&b, "vs census-per-tick: %.1fx fewer txs, %.1fx less virtual time; recall loss %.4f (mean %.4f, min %.4f)\n",
+		t.CostReductionX(), t.VirtualReductionX(), t.RecallLoss(), t.MeanRecall, t.MinRecall)
+	return b.String()
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"toposhot/internal/tracker"
+)
+
+// smallTracking is the test-sized campaign: a 36-node goerli-shaped net,
+// enough ticks to exercise hints, sweeps, and verdict flips.
+func smallTracking(seed int64) TrackingConfig {
+	cfg := GoerliTracking(seed)
+	cfg.Census.Grow = cfg.Census.Grow.WithN(36)
+	cfg.Ticks = 6
+	cfg.Tracker = tracker.Config{Budget: 48, HalfLife: 4, MinConfidence: 0.25}
+	return cfg
+}
+
+func TestRunTrackingSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-tick tracking campaign")
+	}
+	tr, err := RunTracking(smallTracking(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Ticks) != 6 {
+		t.Fatalf("ran %d ticks, want 6", len(tr.Ticks))
+	}
+	if tr.ChurnEvents == 0 {
+		t.Fatal("no churn during tracking; the experiment tested nothing")
+	}
+	if tr.TrackerTxs <= 0 || tr.BaselineTxs <= 0 {
+		t.Fatalf("degenerate ledgers: baseline %d txs, tracker %d txs", tr.BaselineTxs, tr.TrackerTxs)
+	}
+	if x := tr.CostReductionX(); x <= 1 {
+		t.Fatalf("delta campaigns cost more than census-per-tick: %.2fx", x)
+	}
+	if tr.MeanRecall < tr.CensusScore.Recall()-0.10 {
+		t.Fatalf("tracking recall collapsed: mean %.4f vs census %.4f", tr.MeanRecall, tr.CensusScore.Recall())
+	}
+	out := FormatTracking(tr)
+	for _, want := range []string{"incremental tracking:", "seeding census:", "vs census-per-tick:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("FormatTracking output missing %q:\n%s", want, out)
+		}
+	}
+	t.Log("\n" + out)
+}
+
+// TestRunTrackingResume checkpoints a tracking run mid-campaign through the
+// OnTick hook and verifies the resumed continuation replays tick-for-tick
+// identically: same reports, same scores, same probe durations, same final
+// tracker state.
+func TestRunTrackingResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-tick tracking campaign")
+	}
+	const splitAt = 3
+	cfg := smallTracking(23)
+	var resume *TrackingResume
+	cfg.OnTick = func(tt *TrackingTick) error {
+		if tt.Tick != splitAt {
+			return nil
+		}
+		blob, err := tt.Net.Checkpoint()
+		if err != nil {
+			return err
+		}
+		resume = &TrackingResume{
+			Blob:             blob,
+			Tracker:          tt.Tracker.State(),
+			TicksDone:        tt.Tick,
+			Super:            tt.Super,
+			EventIndex:       tt.EventIndex,
+			Back:             tt.Back,
+			BaselineTxs:      tt.Run.BaselineTxs,
+			BaselineEther:    tt.Run.BaselineEther,
+			BaselineDuration: tt.Run.BaselineDuration,
+			CensusScore:      tt.Run.CensusScore,
+			TrackerTxs:       tt.Txs,
+			TrackerEther:     tt.Ether,
+			TrackerDuration:  tt.TotalDuration,
+		}
+		return nil
+	}
+	base, err := RunTracking(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resume == nil {
+		t.Fatal("OnTick never reached the checkpoint tick")
+	}
+	// The tracker state must survive a JSON round trip (the CLI stores it in
+	// the checkpoint container's JSON tail).
+	enc, err := json.Marshal(resume.Tracker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded tracker.State
+	if err := json.Unmarshal(enc, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	resume.Tracker = &decoded
+
+	cfg2 := smallTracking(23)
+	cfg2.Resume = resume
+	cont, err := RunTracking(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cont.Ticks) != cfg2.Ticks-splitAt {
+		t.Fatalf("continuation ran %d ticks, want %d", len(cont.Ticks), cfg2.Ticks-splitAt)
+	}
+	for i, got := range cont.Ticks {
+		want := base.Ticks[splitAt+i]
+		// Cumulative ETH is a float sum regrouped at the resume boundary, so
+		// it is equal only to ulp precision; everything else is exact.
+		if math.Abs(got.Ether-want.Ether) > 1e-15*math.Abs(want.Ether) {
+			t.Fatalf("tick %d ether diverged: %v vs %v", want.Tick, want.Ether, got.Ether)
+		}
+		got.Ether = want.Ether
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("tick %d diverged after resume:\n  orig: %+v\n  cont: %+v", want.Tick, want, got)
+		}
+	}
+	if cont.TrackerTxs != base.TrackerTxs {
+		t.Fatalf("cumulative tracker spend diverged: %d vs %d", cont.TrackerTxs, base.TrackerTxs)
+	}
+	wantState, _ := json.Marshal(base.FinalState)
+	gotState, _ := json.Marshal(cont.FinalState)
+	if string(wantState) != string(gotState) {
+		t.Fatal("final tracker state diverged after resume")
+	}
+	if !reflect.DeepEqual(base.Belief.Edges(), cont.Belief.Edges()) {
+		t.Fatal("final belief edge set diverged after resume")
+	}
+}

@@ -1,0 +1,226 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// checkDynamic asserts every maintained Dynamic statistic equals the batch
+// computation on the mirror graph — float metrics bit-for-bit.
+func checkDynamic(t *testing.T, d *Dynamic, g *Graph) {
+	t.Helper()
+	if d.NumNodes() != g.NumNodes() || d.NumEdges() != g.NumEdges() {
+		t.Fatalf("size mismatch: dyn n=%d m=%d, batch n=%d m=%d",
+			d.NumNodes(), d.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	nodes := g.Nodes()
+	tri := g.triangleCounts()
+	for _, v := range nodes {
+		if d.Degree(v) != g.Degree(v) {
+			t.Fatalf("degree(%d): dyn %d, batch %d", v, d.Degree(v), g.Degree(v))
+		}
+		if d.Triangles(v) != tri[v] {
+			t.Fatalf("triangles(%d): dyn %d, batch %d", v, d.Triangles(v), tri[v])
+		}
+		if !d.HasNode(v) {
+			t.Fatalf("HasNode(%d) = false", v)
+		}
+	}
+
+	gh, dh := g.DegreeHistogram(), d.DegreeHistogram()
+	if !reflect.DeepEqual(gh.Keys(), dh.Keys()) {
+		t.Fatalf("histogram keys: dyn %v, batch %v", dh.Keys(), gh.Keys())
+	}
+	for _, k := range gh.Keys() {
+		if gh.Count(k) != dh.Count(k) {
+			t.Fatalf("histogram count(%d): dyn %d, batch %d", k, dh.Count(k), gh.Count(k))
+		}
+	}
+
+	bitEq := func(name string, dyn, batch float64) {
+		t.Helper()
+		if math.Float64bits(dyn) != math.Float64bits(batch) {
+			t.Fatalf("%s not byte-identical: dyn %v (%#x), batch %v (%#x)",
+				name, dyn, math.Float64bits(dyn), batch, math.Float64bits(batch))
+		}
+	}
+	bitEq("avg degree", d.AverageDegree(), g.AverageDegree())
+	bitEq("clustering", d.ClusteringCoefficient(), g.ClusteringCoefficient())
+	bitEq("transitivity", d.Transitivity(), g.Transitivity())
+	bitEq("assortativity", d.DegreeAssortativity(), g.DegreeAssortativity())
+
+	comps := g.ConnectedComponents()
+	if d.NumComponents() != len(comps) {
+		t.Fatalf("components: dyn %d, batch %d", d.NumComponents(), len(comps))
+	}
+	compOf := make(map[int]int)
+	for i, c := range comps {
+		for _, v := range c {
+			compOf[v] = i
+		}
+	}
+	for _, u := range nodes {
+		for _, v := range nodes {
+			if want := compOf[u] == compOf[v]; d.SameComponent(u, v) != want {
+				t.Fatalf("SameComponent(%d,%d): dyn %v, batch %v", u, v, !want, want)
+			}
+		}
+	}
+
+	if !reflect.DeepEqual(d.Edges(), g.Edges()) {
+		t.Fatalf("edge lists differ: dyn %v, batch %v", d.Edges(), g.Edges())
+	}
+}
+
+func TestDynamicMatchesBatchUnderRandomOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d, g := NewDynamic(), New()
+	for op := 0; op < 400; op++ {
+		u, v := rng.Intn(20), rng.Intn(20)
+		switch rng.Intn(5) {
+		case 0, 1, 2: // bias toward inserts so structure builds up
+			added := d.AddEdge(u, v)
+			before := g.NumEdges()
+			g.AddEdge(u, v)
+			if added != (g.NumEdges() != before) {
+				t.Fatalf("AddEdge(%d,%d) return disagrees with batch delta", u, v)
+			}
+		case 3:
+			removed := d.RemoveEdge(u, v)
+			before := g.NumEdges()
+			g.RemoveEdge(u, v)
+			if removed != (g.NumEdges() != before) {
+				t.Fatalf("RemoveEdge(%d,%d) return disagrees with batch delta", u, v)
+			}
+		case 4:
+			d.AddNode(u)
+			g.AddNode(u)
+		}
+		checkDynamic(t, d, g)
+	}
+}
+
+func TestDynamicComponentsBridge(t *testing.T) {
+	d := NewDynamic()
+	// Two triangles joined by a bridge.
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {0, 2}, {10, 11}, {11, 12}, {10, 12}, {2, 10}} {
+		d.AddEdge(e[0], e[1])
+	}
+	if d.NumComponents() != 1 {
+		t.Fatalf("components = %d, want 1", d.NumComponents())
+	}
+	// Removing a triangle edge keeps connectivity (no rebuild needed).
+	d.RemoveEdge(0, 1)
+	if d.NumComponents() != 1 || !d.SameComponent(0, 12) {
+		t.Fatal("triangle-edge removal disconnected the graph")
+	}
+	d.AddEdge(0, 1)
+	// Removing the bridge splits it (rebuild-on-delete path).
+	d.RemoveEdge(2, 10)
+	if d.NumComponents() != 2 || d.SameComponent(0, 12) || !d.SameComponent(0, 2) {
+		t.Fatalf("bridge removal: components = %d", d.NumComponents())
+	}
+	d.AddEdge(2, 10)
+	if d.NumComponents() != 1 || !d.SameComponent(0, 12) {
+		t.Fatal("bridge re-insert did not merge components")
+	}
+	d.AddNode(99)
+	if d.NumComponents() != 2 {
+		t.Fatalf("isolated vertex: components = %d, want 2", d.NumComponents())
+	}
+}
+
+func TestDynamicNoOps(t *testing.T) {
+	d := NewDynamic()
+	d.AddEdge(1, 2)
+	d.AddEdge(2, 3)
+	for _, bad := range [][2]int{{1, 2}, {2, 1}} {
+		if d.AddEdge(bad[0], bad[1]) {
+			t.Fatalf("duplicate AddEdge(%v) reported new", bad)
+		}
+	}
+	if d.AddEdge(5, 5) {
+		t.Fatal("self-loop AddEdge reported new")
+	}
+	for _, bad := range [][2]int{{1, 3}, {7, 8}, {1, 7}, {2, 2}} {
+		if d.RemoveEdge(bad[0], bad[1]) {
+			t.Fatalf("RemoveEdge(%v) reported removal", bad)
+		}
+	}
+	if d.NumEdges() != 2 || d.NumNodes() != 3 {
+		t.Fatalf("no-ops mutated graph: n=%d m=%d", d.NumNodes(), d.NumEdges())
+	}
+	if d.Degree(9) != 0 || d.Triangles(9) != 0 || d.HasEdge(9, 1) || d.HasEdge(1, 9) {
+		t.Fatal("unknown-vertex queries not zero")
+	}
+}
+
+func TestDynamicFromGraphAndSnapshot(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := New()
+	for u := 0; u < 25; u++ {
+		g.AddNode(u)
+		for v := u + 1; v < 25; v++ {
+			if rng.Float64() < 0.15 {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	d := FromGraph(g)
+	checkDynamic(t, d, g)
+	snap := d.Snapshot()
+	if !reflect.DeepEqual(snap.Edges(), g.Edges()) || !reflect.DeepEqual(snap.Nodes(), g.Nodes()) {
+		t.Fatal("Snapshot does not round-trip the graph")
+	}
+}
+
+// FuzzDynamicGraph drives random interleaved insert/delete sequences through
+// Dynamic and a mirror Graph, asserting after every operation that each
+// incrementally-maintained metric is byte-identical to the batch
+// computation, and at the end that a fresh ComputeProperties on the
+// materialized graph agrees with the maintained values.
+func FuzzDynamicGraph(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 0, 2, 3, 1, 1, 2})
+	f.Add([]byte{0, 0, 1, 0, 1, 2, 0, 0, 2, 2, 0, 2, 0, 0, 2})
+	seed := make([]byte, 60)
+	rand.New(rand.NewSource(13)).Read(seed)
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 240 { // bound per-input work; corpus stays diverse
+			ops = ops[:240]
+		}
+		d, g := NewDynamic(), New()
+		for i := 0; i+2 < len(ops); i += 3 {
+			u, v := int(ops[i+1]%16), int(ops[i+2]%16)
+			switch ops[i] % 4 {
+			case 0, 1:
+				d.AddEdge(u, v)
+				g.AddEdge(u, v)
+			case 2:
+				d.RemoveEdge(u, v)
+				g.RemoveEdge(u, v)
+			case 3:
+				d.AddNode(u)
+				g.AddNode(u)
+			}
+			checkDynamic(t, d, g)
+		}
+		p := ComputeProperties(g, 0)
+		if p.Nodes != d.NumNodes() || p.Edges != d.NumEdges() {
+			t.Fatalf("ComputeProperties size mismatch: %+v", p)
+		}
+		for name, pair := range map[string][2]float64{
+			"avgdeg": {p.AvgDegree, d.AverageDegree()},
+			"clust":  {p.Clustering, d.ClusteringCoefficient()},
+			"trans":  {p.Transitivity, d.Transitivity()},
+			"assort": {p.Assortativity, d.DegreeAssortativity()},
+		} {
+			if math.Float64bits(pair[0]) != math.Float64bits(pair[1]) {
+				t.Fatalf("%s: ComputeProperties %v != dynamic %v", name, pair[0], pair[1])
+			}
+		}
+	})
+}

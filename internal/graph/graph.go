@@ -47,8 +47,15 @@ func (g *Graph) AddEdge(u, v int) {
 	g.m++
 }
 
-// RemoveEdge deletes the undirected edge {u,v} if present.
+// RemoveEdge deletes the undirected edge {u,v} if present. Absent edges,
+// unknown vertices, and self-loops (which AddEdge never creates) are all
+// no-ops that leave NumEdges and the adjacency maps untouched — the
+// operation is on the tracker's per-tick path, where a silent m-- drift
+// would corrupt every maintained statistic downstream.
 func (g *Graph) RemoveEdge(u, v int) {
+	if u == v {
+		return
+	}
 	if _, ok := g.adj[u][v]; !ok {
 		return
 	}
@@ -329,19 +336,42 @@ func (g *Graph) Transitivity() float64 {
 
 // DegreeAssortativity returns the Pearson correlation of degrees across
 // edge endpoints (each edge contributes both orientations).
+//
+// The correlation is computed from exact integer moments of the degree
+// sequence rather than a float series: over the directed-pair population,
+// Σx = Σy = Σ_v d_v², Σx² = Σy² = Σ_v d_v³, and Σxy = 2·Σ_{uv∈E} d_u·d_v.
+// Integer accumulation is order-free (no low-bit dependence on iteration
+// order) and — crucially — each moment shifts by an O(degree) integer delta
+// under a single edge insert or delete, which is what lets graph.Dynamic
+// maintain the identical value incrementally.
 func (g *Graph) DegreeAssortativity() float64 {
-	// Build the endpoint-degree series in sorted (u, v) order: Pearson's
-	// accumulations are order-sensitive in the low bits, so map iteration
-	// order here would leak into the reported coefficient.
-	var xs, ys []float64
-	for _, u := range g.Nodes() {
-		du := float64(len(g.adj[u]))
-		for _, v := range g.Neighbors(u) {
-			xs = append(xs, du)
-			ys = append(ys, float64(len(g.adj[v])))
+	var s2, s3, p int64
+	for u, nbrs := range g.adj {
+		d := int64(len(nbrs))
+		s2 += d * d
+		s3 += d * d * d
+		for v := range nbrs {
+			if u < v { // each undirected edge once
+				p += d * int64(len(g.adj[v]))
+			}
 		}
 	}
-	return stats.Pearson(xs, ys)
+	return assortativityFromMoments(2*int64(g.m), s2, s3, 2*p)
+}
+
+// assortativityFromMoments evaluates the Pearson degree correlation from the
+// exact integer moments of the directed endpoint-degree series: n pairs,
+// sx = Σx (= Σy by symmetry), sxx = Σx² (= Σy²), sxy = Σxy. Because the two
+// marginals are identical, sqrt((n·sxx−sx²)²) = n·sxx−sx² (non-negative by
+// Cauchy–Schwarz), so the formula needs no square root. Products are taken
+// in float64 — the int64 sums are exact, and one fixed expression shape
+// keeps the result reproducible everywhere it is computed.
+func assortativityFromMoments(n, sx, sxx, sxy int64) float64 {
+	den := float64(n)*float64(sxx) - float64(sx)*float64(sx)
+	if den == 0 {
+		return 0
+	}
+	return (float64(n)*float64(sxy) - float64(sx)*float64(sx)) / den
 }
 
 // Properties bundles every Table-4-style statistic.

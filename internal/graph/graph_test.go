@@ -44,6 +44,39 @@ func TestBasicOperations(t *testing.T) {
 	g.RemoveEdge(1, 2) // idempotent
 }
 
+func TestRemoveEdgeConsistency(t *testing.T) {
+	g := New()
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	// None of these may touch the edge count, the adjacency, or the vertex
+	// set: absent edge, both endpoints unknown, one endpoint unknown,
+	// self-loop on a known vertex, self-loop on an unknown vertex.
+	g.RemoveEdge(1, 3)
+	g.RemoveEdge(7, 8)
+	g.RemoveEdge(1, 9)
+	g.RemoveEdge(2, 2)
+	g.RemoveEdge(9, 9)
+	if g.NumEdges() != 2 {
+		t.Fatalf("no-op removals changed edge count: m=%d", g.NumEdges())
+	}
+	if g.NumNodes() != 3 {
+		t.Fatalf("no-op removals changed vertex set: n=%d", g.NumNodes())
+	}
+	if g.Degree(1) != 1 || g.Degree(2) != 2 || g.Degree(3) != 1 {
+		t.Fatalf("no-op removals changed degrees: %d %d %d",
+			g.Degree(1), g.Degree(2), g.Degree(3))
+	}
+	// A real removal is symmetric and idempotent.
+	g.RemoveEdge(2, 1)
+	if g.NumEdges() != 1 || g.HasEdge(1, 2) || g.HasEdge(2, 1) || g.Degree(1) != 0 {
+		t.Fatal("removal left inconsistent adjacency")
+	}
+	g.RemoveEdge(1, 2)
+	if g.NumEdges() != 1 {
+		t.Fatalf("repeated removal drifted edge count: m=%d", g.NumEdges())
+	}
+}
+
 func TestDegreesAndAverage(t *testing.T) {
 	g := k4()
 	for v := 0; v < 4; v++ {

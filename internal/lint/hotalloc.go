@@ -30,12 +30,17 @@ func hotAllocFunc(name string) bool {
 }
 
 // runHotAlloc enforces the allocation bans inside hot-path function bodies
-// in the sim/ethsim packages. The bans mirror what the hot-path overhaul
-// (DESIGN.md §8) bought: every closure, map/slice literal, growing append on
-// a fresh local, or interface boxing of a non-pointer value is one
-// allocation per event or per message.
+// in the sim/ethsim packages and inside the O(Δ) tick-path functions of the
+// graph and tracker packages. The bans mirror what the hot-path overhaul
+// (DESIGN.md §8) bought — and what keeps the incremental tracker's tick cost
+// proportional to the delta (DESIGN.md §13): every closure, map/slice
+// literal, growing append on a fresh local, or interface boxing of a
+// non-pointer value is one allocation per event, per message, or per
+// tracked change.
 func runHotAlloc(pkg *Package) []Finding {
-	if !pathIn(pkg.ScopePath(), heapBanScope...) {
+	hotScope := pathIn(pkg.ScopePath(), heapBanScope...)
+	tickScope := pathIn(pkg.ScopePath(), tickPathScope...)
+	if !hotScope && !tickScope {
 		return nil
 	}
 	var findings []Finding
@@ -45,10 +50,13 @@ func runHotAlloc(pkg *Package) []Finding {
 		}
 		for _, decl := range file.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
-			if !ok || fn.Body == nil || !hotAllocFunc(fn.Name.Name) {
+			if !ok || fn.Body == nil {
 				continue
 			}
-			findings = append(findings, hotAllocScan(pkg, fn)...)
+			name := fn.Name.Name
+			if (hotScope && hotAllocFunc(name)) || (tickScope && tickPathFuncs[name]) {
+				findings = append(findings, hotAllocScan(pkg, fn)...)
+			}
 		}
 	}
 	return findings

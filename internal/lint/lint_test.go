@@ -105,6 +105,17 @@ func TestHotAllocGolden(t *testing.T) {
 	golden(t, "hotalloc", checkFixture(t, "hotalloc", "toposhot/internal/ethsim/allocfixture"))
 }
 
+// TestTickPathGolden loads one fixture under both tick-path scopes. Under
+// the graph path only the tick-path rules fire (map iteration and
+// allocations inside the named dyn*/trk* functions); under the tracker path
+// the package is also in the nodeterminism simulation scope, so the
+// order-dependent float accumulation inside the map range fires as well.
+// The pooled reslice and the dynRebuild fallback stay silent in both.
+func TestTickPathGolden(t *testing.T) {
+	golden(t, "tickpath_graph", checkFixture(t, "tickpath", "toposhot/internal/graph/fixture"))
+	golden(t, "tickpath_tracker", checkFixture(t, "tickpath", "toposhot/internal/tracker/fixture"))
+}
+
 // TestHotAllocRegression: seeding a closure-per-message send into a gossip
 // dispatch function shaped like ethsim's must fire the rule — the guard
 // against quietly reverting the allocation-free scheduling API.

@@ -10,8 +10,9 @@ import (
 // nodeterminismScope lists the packages whose results must be reproducible
 // from a seed: the simulators, the measurement core, the measurement
 // strategies built on it, topology generation, the pool model the simulator
-// drives, and the worker pool that runs independent simulations
-// concurrently.
+// drives, the worker pool that runs independent simulations concurrently,
+// and the topology tracker (whose probe schedule must replay identically
+// from a checkpoint).
 var nodeterminismScope = []string{
 	modulePrefix + "/internal/sim",
 	modulePrefix + "/internal/ethsim",
@@ -20,6 +21,7 @@ var nodeterminismScope = []string{
 	modulePrefix + "/internal/netgen",
 	modulePrefix + "/internal/txpool",
 	modulePrefix + "/internal/runner",
+	modulePrefix + "/internal/tracker",
 }
 
 // timeBanned are time-package functions that read the wall clock or real
@@ -71,6 +73,30 @@ var deliveryPathFuncs = map[string]bool{
 	"appendPropagatable": true,
 }
 
+// tickPathScope are the packages owning the O(Δ) incremental tick path:
+// graph.Dynamic's apply/maintenance helpers and the tracker's planner. The
+// named tickPathFuncs run once per tracked change on every tracker tick, so
+// they carry the same map-iteration and allocation bans as the engine's
+// delivery path (DESIGN.md §13).
+var tickPathScope = []string{
+	modulePrefix + "/internal/graph",
+	modulePrefix + "/internal/tracker",
+}
+
+// tickPathFuncs names the graph.Dynamic and tracker methods on the per-tick
+// incremental path. dynRebuild is deliberately not listed: it is the
+// O(V+E) fallback taken only when an edge removal disconnects a component,
+// and it trades allocations for not running on the steady-state path.
+var tickPathFuncs = map[string]bool{
+	// graph.Dynamic maintenance.
+	"dynAdjPos": true, "dynAdjInsert": true, "dynAdjRemove": true,
+	"dynNbrDegSum": true, "dynCommonAdjust": true, "dynDegShift": true,
+	"dynApplyAdd": true, "dynApplyRemove": true,
+	"dynFind": true, "dynUnion": true, "dynReach": true,
+	// tracker planning and verdict application.
+	"trkPlan": true, "trkMarkUrgent": true, "trkApply": true,
+}
+
 var analyzerNoDeterminism = &Analyzer{
 	Name: "nodeterminism",
 	Doc:  "simulation packages must be seed-reproducible: no wall clock, no global math/rand, no map-iteration-order-dependent results, no container/heap or map iteration on the scheduling/delivery hot path",
@@ -78,10 +104,11 @@ var analyzerNoDeterminism = &Analyzer{
 }
 
 func runNoDeterminism(pkg *Package) []Finding {
-	if !pathIn(pkg.ScopePath(), nodeterminismScope...) {
-		return nil
-	}
 	var findings []Finding
+	findings = append(findings, tickPathFindings(pkg)...)
+	if !pathIn(pkg.ScopePath(), nodeterminismScope...) {
+		return findings
+	}
 	for _, file := range pkg.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
@@ -160,6 +187,48 @@ func hotPathFindings(pkg *Package) []Finding {
 				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
 					findings = append(findings, report(pkg, rng, "nodeterminism",
 						"map iteration in hot-path function "+fn.Name.Name+"; scheduling/delivery code iterates slices in deterministic order"))
+				}
+				return true
+			})
+		}
+	}
+	return findings
+}
+
+// tickPathFindings enforces the map-iteration ban inside the named O(Δ)
+// tick-path functions of the graph and tracker packages. Unlike
+// mapOrderFindings — which only flags order-dependent writes — any map range
+// here is banned outright: the incremental maintenance path iterates sorted
+// adjacency slices and staleness buckets, and a map walk both leaks iteration
+// order into the belief schedule and defeats the O(Δ) bound. Test files are
+// exempt; batch/fallback helpers (dynRebuild, Snapshot) are deliberately
+// outside tickPathFuncs.
+func tickPathFindings(pkg *Package) []Finding {
+	if !pathIn(pkg.ScopePath(), tickPathScope...) {
+		return nil
+	}
+	var findings []Finding
+	for _, file := range pkg.Files {
+		if pkg.IsTestFile(file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !tickPathFuncs[fn.Name.Name] {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := pkg.Info.Types[rng.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					findings = append(findings, report(pkg, rng, "nodeterminism",
+						"map iteration in tick-path function "+fn.Name.Name+"; O(Δ) maintenance iterates adjacency slices and staleness buckets in deterministic order (DESIGN.md §13)"))
 				}
 				return true
 			})
