@@ -21,6 +21,7 @@ import (
 
 	"toposhot/internal/experiments"
 	"toposhot/internal/metrics"
+	"toposhot/internal/obs"
 	"toposhot/internal/profile"
 	runnerpool "toposhot/internal/runner"
 	"toposhot/internal/trace"
@@ -191,7 +192,18 @@ func main() {
 	traceOut := flag.String("trace", "", "write a timeline trace to this file (.jsonl = JSONL, else Chrome/Perfetto JSON)")
 	traceLevel := flag.String("trace-level", "measure", "trace verbosity with -trace: off|measure|engine")
 	traceDet := flag.Bool("trace-deterministic", false, "suppress wall-clock fields so same-seed runs produce byte-identical traces (use with -parallel 1)")
+	logLevel := flag.String("log-level", "info", "structured event-log verbosity: debug|info|warn|error|off")
+	logFormat := flag.String("log-format", "text", "live log line format on stderr: text|jsonl")
+	logOut := flag.String("log", "", "write the deterministic event-log snapshot (JSONL) to this file on exit")
 	flag.Parse()
+
+	cli := obs.OpenCLI(*logLevel, *logFormat, *logOut)
+	lg := cli.Logger
+	defer func() {
+		if err := cli.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, obs.FormatLine("log-write-failed", obs.Err(err)))
+		}
+	}()
 
 	runnerpool.SetParallelism(*parallel)
 
@@ -199,8 +211,7 @@ func main() {
 	if *traceOut != "" {
 		lv, err := trace.ParseLevel(*traceLevel)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			cli.Fatal(2, "trace-setup-failed", obs.Err(err))
 		}
 		if tr := trace.New(trace.Options{Level: lv, Deterministic: *traceDet}); tr != nil {
 			trace.Enable(tr) // networks, measurers, and sweeps self-wire
@@ -210,12 +221,11 @@ func main() {
 
 	prof, err := profile.StartRuntime(*cpuprofile, *memprofile)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		cli.Fatal(1, "profile-setup-failed", obs.Err(err))
 	}
 	defer func() {
 		if err := prof.Stop(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			lg.Error("profile-write-failed", obs.Err(err))
 		}
 	}()
 
@@ -285,18 +295,17 @@ func main() {
 		}
 		out, err := r.run(*seed)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", r.name, err)
-			os.Exit(1)
+			cli.Fatal(1, "experiment-failed", obs.String("experiment", r.name), obs.Err(err))
 		}
 		fmt.Printf("=== %s ===\n%s\n", r.name, out)
+		lg.Info("experiment-done", obs.String("experiment", r.name))
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "no experiment matched %q; known: %s\n", *run, strings.Join(names, ", "))
-		os.Exit(2)
+		cli.Fatal(2, "no-experiment-matched", obs.String("run", *run),
+			obs.String("known", strings.Join(names, ", ")))
 	}
 	if err := flushTrace(); err != nil {
-		fmt.Fprintf(os.Stderr, "trace: %v\n", err)
-		os.Exit(1)
+		cli.Fatal(1, "trace-write-failed", obs.Err(err))
 	}
 }

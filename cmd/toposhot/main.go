@@ -14,6 +14,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"time"
 
@@ -22,6 +23,7 @@ import (
 	"toposhot/internal/experiments"
 	"toposhot/internal/metrics"
 	"toposhot/internal/netgen"
+	"toposhot/internal/obs"
 	"toposhot/internal/profile"
 	"toposhot/internal/runner"
 	"toposhot/internal/strategy"
@@ -55,22 +57,32 @@ func main() {
 	traceOut := flag.String("trace", "", "write a timeline trace to this file (.jsonl = JSONL, else Chrome/Perfetto JSON)")
 	traceLevel := flag.String("trace-level", "measure", "trace verbosity with -trace: off|measure|engine")
 	traceDet := flag.Bool("trace-deterministic", false, "suppress wall-clock fields so same-seed runs produce byte-identical traces")
+	logLevel := flag.String("log-level", "info", "structured event-log verbosity: debug|info|warn|error|off")
+	logFormat := flag.String("log-format", "text", "live log line format on stderr: text|jsonl")
+	logOut := flag.String("log", "", "write the deterministic event-log snapshot (JSONL) to this file on exit")
+	events := flag.String("events", "", "serve the live campaign dashboard (/, /events, /log, /ledger, /metrics, /trace/snapshot, /progress) on this address while the run is active")
 	flag.Parse()
+
+	cli := obs.OpenCLI(*logLevel, *logFormat, *logOut)
+	lg := cli.Logger
+	defer func() {
+		if err := cli.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
 
 	tracer, flushTrace, err := setupTrace(*traceOut, *traceLevel, *traceDet)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		cli.Fatal(2, "trace-setup-failed", obs.Err(err))
 	}
 
 	prof, err := profile.StartRuntime(*cpuprofile, *memprofile)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		cli.Fatal(1, "profile-setup-failed", obs.Err(err))
 	}
 	defer func() {
 		if err := prof.Stop(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			lg.Error("profile-write-failed", obs.Err(err))
 		}
 	}()
 
@@ -80,15 +92,31 @@ func main() {
 	runner.SetParallelism(*parallel)
 
 	var reg *metrics.Registry
-	if *withMetrics {
+	if *withMetrics || *events != "" {
 		reg = metrics.NewRegistry()
 		metrics.Enable(reg) // the network, pools, and measurer self-wire
+	}
+	if *withMetrics {
 		progress := metrics.StartProgress(reg, os.Stderr, *metricsEvery)
 		defer progress.Stop()
 		defer func() {
-			fmt.Fprintln(os.Stderr, "final metrics snapshot:")
+			lg.Info("final-metrics-snapshot")
 			_ = reg.WriteJSON(os.Stderr)
 		}()
+	}
+
+	// The live dashboard serves the campaign's observability surfaces for the
+	// duration of the run; led is the probe cost-attribution ledger every mode
+	// below feeds.
+	led := obs.NewLedger()
+	if *events != "" {
+		dash := &obs.Dash{Logger: lg, Ledger: led, Metrics: reg, Tracer: tracer}
+		go func() {
+			if err := http.ListenAndServe(*events, dash.Handler()); err != nil {
+				lg.Error("dashboard-failed", obs.Err(err))
+			}
+		}()
+		lg.Info("dashboard-listening", obs.String("addr", *events))
 	}
 
 	grow := netgen.RopstenConfig.WithSeed(*seed).WithN(*n)
@@ -103,8 +131,7 @@ func main() {
 		grow = netgen.MainnetConfig.WithSeed(*seed)
 	case "":
 	default:
-		fmt.Fprintf(os.Stderr, "unknown preset %q\n", *preset)
-		os.Exit(2)
+		cli.Fatal(2, "unknown-preset", obs.String("preset", *preset))
 	}
 	// An explicit -n rescales a preset (downsized smoke runs keep the
 	// preset's degree/leaf/monitor shape, like the bench harness).
@@ -126,8 +153,8 @@ func main() {
 	// apply here.
 	if *regions > 0 {
 		if *strat != string(strategy.MethodTopoShot) || *checkpoint != "" || *resumeFrom != "" {
-			fmt.Fprintln(os.Stderr, "-regions supports only the toposhot strategy and no -checkpoint/-resume")
-			os.Exit(2)
+			cli.Fatal(2, "bad-flags",
+				obs.String("why", "-regions supports only the toposhot strategy and no -checkpoint/-resume"))
 		}
 		cfg := experiments.ScaleCensusConfig{
 			Name: *preset, Grow: grow, Het: het, Seed: *seed,
@@ -139,15 +166,13 @@ func main() {
 		}
 		sc, err := experiments.RunScaleCensus(cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "sharded census failed: %v\n", err)
-			os.Exit(1)
+			cli.Fatal(1, "census-failed", obs.Err(err))
 		}
 		fmt.Fprint(os.Stderr, experiments.FormatScaleCensus(sc))
 		if err := flushTrace(); err != nil {
-			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
-			os.Exit(1)
+			cli.Fatal(1, "trace-write-failed", obs.Err(err))
 		}
-		bw, closeOut := openOutput(*out)
+		bw, closeOut := openOutput(cli, *out)
 		defer closeOut()
 		for _, e := range sc.Measured.Edges() {
 			fmt.Fprintf(bw, "%d %d\n", e[0], e[1])
@@ -160,14 +185,13 @@ func main() {
 	// included) plus the tracker snapshot, so -resume continues mid-campaign.
 	if *track {
 		if *strat != string(strategy.MethodTopoShot) {
-			fmt.Fprintln(os.Stderr, "-track supports only the toposhot strategy")
-			os.Exit(2)
+			cli.Fatal(2, "bad-flags", obs.String("why", "-track supports only the toposhot strategy"))
 		}
 		runTracking(trackingFlags{
 			grow: grow, het: het, preset: *preset, seed: *seed, k: *k, lanes: *lanes,
 			ticks: *trackTicks, budget: *trackBudget, churn: *trackChurn,
 			checkpoint: *checkpoint, checkpointEvery: *checkpointEvery, resumeFrom: *resumeFrom,
-			out: *out, flushTrace: flushTrace,
+			out: *out, flushTrace: flushTrace, cli: cli, ledger: led,
 		})
 		return
 	}
@@ -187,23 +211,21 @@ func main() {
 	if *resumeFrom != "" {
 		blob, meta, err := readCheckpoint(*resumeFrom)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			cli.Fatal(1, "checkpoint-read-failed", obs.Err(err))
 		}
 		if meta.Campaign == nil {
-			fmt.Fprintf(os.Stderr, "%s: a tracking checkpoint; resume it with -track\n", *resumeFrom)
-			os.Exit(2)
+			cli.Fatal(2, "bad-flags", obs.String("file", *resumeFrom),
+				obs.String("why", "a tracking checkpoint; resume it with -track"))
 		}
 		net, err = ethsim.RestoreNetworkLanes(blob, *lanes)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "restore %s: %v\n", *resumeFrom, err)
-			os.Exit(1)
+			cli.Fatal(1, "restore-failed", obs.String("file", *resumeFrom), obs.Err(err))
 		}
 		supers := net.Supernodes()
 		if meta.Super < 0 || meta.Super >= len(supers) {
-			fmt.Fprintf(os.Stderr, "restore %s: supernode index %d out of range (have %d)\n",
-				*resumeFrom, meta.Super, len(supers))
-			os.Exit(1)
+			cli.Fatal(1, "restore-failed", obs.String("file", *resumeFrom),
+				obs.Int("super", int64(meta.Super)), obs.Int("have", int64(len(supers))),
+				obs.String("why", "supernode index out of range"))
 		}
 		if tracer != nil {
 			net.SetTracer(tracer)
@@ -217,8 +239,10 @@ func main() {
 		for _, p := range meta.Back {
 			back[p.ID] = p.V
 		}
-		fmt.Fprintf(os.Stderr, "resumed %s: %d nodes at t=%.1fs, %d batches done, %d edges so far\n",
-			*resumeFrom, len(net.Nodes()), net.Now(), resume.BatchesDone, len(resume.Detected))
+		lg.Info("campaign-resumed", obs.String("file", *resumeFrom),
+			obs.Int("nodes", int64(len(net.Nodes()))), obs.Float("virtual_s", net.Now()),
+			obs.Int("batches_done", int64(resume.BatchesDone)),
+			obs.Int("edges", int64(len(resume.Detected))))
 	} else {
 		g := netgen.Grow(grow)
 		netCfg := ethsim.DefaultConfig(*seed)
@@ -238,13 +262,18 @@ func main() {
 		w.Start(0)
 		m = core.NewMeasurer(net, super, params)
 
-		fmt.Fprintf(os.Stderr, "network: %d nodes, %d true edges; pre-processing...\n",
-			g.NumNodes(), g.NumEdges())
+		lg.Info("network-built", obs.Int("nodes", int64(g.NumNodes())),
+			obs.Int("edges", int64(g.NumEdges())))
 		pre := m.Preprocess(inst.IDs)
 		targets = pre.EligibleNodes(inst.IDs)
 		back = inst.Back
 	}
 	truth := core.EdgeSetOf(net.Edges())
+
+	// Every probe the campaign sends lands in the dashboard's attribution
+	// ledger under one census phase.
+	m.SetObs(m.Obs(), led)
+	m.SetPhase("census")
 
 	var detected *core.EdgeSet
 	if *strat == string(strategy.MethodTopoShot) {
@@ -270,11 +299,10 @@ func main() {
 				return writeCheckpoint(*checkpoint, blob, meta)
 			}
 		}
-		fmt.Fprintf(os.Stderr, "measuring %d eligible nodes with K=%d...\n", len(targets), *k)
+		lg.Info("census-started", obs.Int("eligible", int64(len(targets))), obs.Int("k", int64(*k)))
 		res, err := m.MeasureNetworkResume(targets, *k, 144, resume, onBatch)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "measurement failed: %v\n", err)
-			os.Exit(1)
+			cli.Fatal(1, "measurement-failed", obs.Err(err))
 		}
 		detected = res.Detected
 		eligible := map[types.NodeID]bool{}
@@ -282,17 +310,15 @@ func main() {
 			eligible[id] = true
 		}
 		sc := core.ScoreAgainst(detected, truth, func(id types.NodeID) bool { return eligible[id] })
-		fmt.Fprintf(os.Stderr, "done in %.2f virtual hours over %d calls: %v\n",
-			res.Duration/3600, res.Calls, sc)
-		fmt.Fprintf(os.Stderr, "worst-case cost: %.4f ETH\n", core.Ether(m.Ledger.WorstCaseWei()))
+		lg.Info("census-scored", obs.Float("virtual_h", res.Duration/3600),
+			obs.Int("calls", int64(res.Calls)), obs.String("score", sc.String()),
+			obs.Float("fee_eth", core.Ether(m.Ledger.WorstCaseWei())))
 	} else if *resumeFrom != "" || *checkpoint != "" {
-		fmt.Fprintln(os.Stderr, "-checkpoint/-resume support only the toposhot strategy")
-		os.Exit(2)
+		cli.Fatal(2, "bad-flags", obs.String("why", "-checkpoint/-resume support only the toposhot strategy"))
 	} else {
 		s, err := strategy.NewMethod(strategy.Method(*strat), net, super, strategy.Config{TopoShot: params})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			cli.Fatal(2, "bad-flags", obs.Err(err))
 		}
 		var pairs [][2]types.NodeID
 		for i := range targets {
@@ -300,23 +326,22 @@ func main() {
 				pairs = append(pairs, [2]types.NodeID{targets[i], targets[j]})
 			}
 		}
-		fmt.Fprintf(os.Stderr, "measuring %d pairs over %d eligible nodes with %s...\n",
-			len(pairs), len(targets), s.Name())
-		out, err := strategy.RunPairs(tracer, net, s, pairs)
+		lg.Info("pairs-planned", obs.Int("pairs", int64(len(pairs))),
+			obs.Int("eligible", int64(len(targets))), obs.String("method", s.Name()))
+		out, err := strategy.RunPairs(tracer, lg, net, s, pairs)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "measurement failed: %v\n", err)
-			os.Exit(1)
+			cli.Fatal(1, "measurement-failed", obs.Err(err))
 		}
 		detected = out.Claimed
-		fmt.Fprintf(os.Stderr, "done in %.2f virtual hours: %v (%d probe txs)\n",
-			out.VirtualSeconds/3600, out.Score(truth), out.Cost.Total())
+		lg.Info("campaign-scored", obs.Float("virtual_h", out.VirtualSeconds/3600),
+			obs.String("score", out.Score(truth).String()),
+			obs.Int("probe_txs", int64(out.LedgerCost().Total())))
 	}
 	if err := flushTrace(); err != nil {
-		fmt.Fprintf(os.Stderr, "trace: %v\n", err)
-		os.Exit(1)
+		cli.Fatal(1, "trace-write-failed", obs.Err(err))
 	}
 
-	bw, closeOut := openOutput(*out)
+	bw, closeOut := openOutput(cli, *out)
 	defer closeOut()
 	for _, e := range detected.Edges() {
 		va, okA := back[e[0]]
@@ -329,13 +354,12 @@ func main() {
 
 // openOutput returns a buffered writer on the -out file (or stdout) and the
 // function that flushes and closes it.
-func openOutput(path string) (*bufio.Writer, func()) {
+func openOutput(cli *obs.CLI, path string) (*bufio.Writer, func()) {
 	dst := os.Stdout
 	if path != "" {
 		f, err := os.Create(path)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "create %s: %v\n", path, err)
-			os.Exit(1)
+			cli.Fatal(1, "output-create-failed", obs.String("file", path), obs.Err(err))
 		}
 		dst = f
 	}

@@ -6,6 +6,7 @@ import (
 
 	"toposhot/internal/experiments"
 	"toposhot/internal/netgen"
+	"toposhot/internal/obs"
 	"toposhot/internal/tracker"
 	"toposhot/internal/types"
 )
@@ -29,6 +30,8 @@ type trackingFlags struct {
 
 	out        string
 	flushTrace func() error
+	cli        *obs.CLI
+	ledger     *obs.Ledger
 }
 
 // runTracking drives experiments.RunTracking from the CLI: seeding census,
@@ -51,17 +54,17 @@ func runTracking(f trackingFlags) {
 		ChurnRemoveFrac: 0.5,
 		HintEvery:       2,
 		Lanes:           f.lanes,
+		Ledger:          f.ledger,
 	}
 
 	if f.resumeFrom != "" {
 		blob, meta, err := readCheckpoint(f.resumeFrom)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			f.cli.Fatal(1, "checkpoint-read-failed", obs.Err(err))
 		}
 		if meta.Tracking == nil {
-			fmt.Fprintf(os.Stderr, "%s: a census-campaign checkpoint; resume it without -track\n", f.resumeFrom)
-			os.Exit(2)
+			f.cli.Fatal(2, "bad-flags", obs.String("file", f.resumeFrom),
+				obs.String("why", "a census-campaign checkpoint; resume it without -track"))
 		}
 		back := make(map[types.NodeID]int, len(meta.Back))
 		for _, p := range meta.Back {
@@ -82,9 +85,10 @@ func runTracking(f trackingFlags) {
 			TrackerEther:     meta.Tracking.TrackerEther,
 			TrackerDuration:  meta.Tracking.TrackerDuration,
 		}
-		fmt.Fprintf(os.Stderr, "resumed %s: tracking at tick %d/%d, %d tracked pairs, %d probe txs spent\n",
-			f.resumeFrom, meta.Tracking.TicksDone, f.ticks,
-			len(meta.Tracking.State.Pairs), meta.Tracking.TrackerTxs)
+		f.cli.Logger.Info("tracking-resumed", obs.String("file", f.resumeFrom),
+			obs.Int("ticks_done", int64(meta.Tracking.TicksDone)), obs.Int("ticks", int64(f.ticks)),
+			obs.Int("tracked_pairs", int64(len(meta.Tracking.State.Pairs))),
+			obs.Int("probe_txs", int64(meta.Tracking.TrackerTxs)))
 	}
 
 	if f.checkpoint != "" {
@@ -125,16 +129,15 @@ func runTracking(f trackingFlags) {
 
 	tr, err := experiments.RunTracking(cfg)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "tracking failed: %v\n", err)
-		os.Exit(1)
+		f.cli.Fatal(1, "tracking-failed", obs.Err(err))
 	}
 	fmt.Fprint(os.Stderr, experiments.FormatTracking(tr))
+	fmt.Fprint(os.Stderr, experiments.FormatTrackingCost(tr))
 	if err := f.flushTrace(); err != nil {
-		fmt.Fprintf(os.Stderr, "trace: %v\n", err)
-		os.Exit(1)
+		f.cli.Fatal(1, "trace-write-failed", obs.Err(err))
 	}
 
-	bw, closeOut := openOutput(f.out)
+	bw, closeOut := openOutput(f.cli, f.out)
 	defer closeOut()
 	for _, e := range tr.Belief.Edges() {
 		va, okA := tr.Back[e[0]]

@@ -8,17 +8,20 @@
 //	toposhotd -listen 127.0.0.1:30312 -peers 127.0.0.1:30311
 //	toposhotd -listen 127.0.0.1:30311 -metrics-http 127.0.0.1:9311
 //
-// With -metrics-http the daemon serves a JSON snapshot of every node,
-// txpool, and per-peer instrument at GET /metrics (Prometheus text
-// exposition with ?format=prom or an Accept: text/plain header), the
-// in-memory timeline trace at GET /trace/snapshot (Chrome/Perfetto JSON;
-// ?format=jsonl for JSONL), and span-derived progress/ETA at GET /progress.
+// With -metrics-http the daemon serves the campaign observatory: the HTML
+// dashboard at GET / (phase progress, cost burn, live event pane), the live
+// event stream at GET /events (SSE; ?format=jsonl for a snapshot dump), the
+// buffered event log at GET /log, a JSON snapshot of every node, txpool, and
+// per-peer instrument at GET /metrics (Prometheus text exposition with
+// ?format=prom or an Accept: text/plain header), the in-memory timeline
+// trace at GET /trace/snapshot (Chrome/Perfetto JSON; ?format=jsonl for
+// JSONL), span-derived progress/ETA at GET /progress, per-peer stats at
+// GET /peers, and live profiles under /debug/pprof.
 package main
 
 import (
 	"encoding/json"
 	"flag"
-	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -29,6 +32,7 @@ import (
 
 	"toposhot/internal/metrics"
 	"toposhot/internal/node"
+	"toposhot/internal/obs"
 	"toposhot/internal/trace"
 	"toposhot/internal/txpool"
 )
@@ -40,28 +44,34 @@ func main() {
 	client := flag.String("client", "geth", "mempool policy: geth|parity|nethermind|besu|aleth")
 	capacity := flag.Int("capacity", 0, "override mempool capacity (0 = client default)")
 	version := flag.String("version", "", "client version override")
-	metricsHTTP := flag.String("metrics-http", "", "serve a JSON /metrics endpoint on this address (empty = off)")
+	metricsHTTP := flag.String("metrics-http", "", "serve the observability endpoints (dashboard, /events, /metrics, /trace/snapshot, /peers, pprof) on this address (empty = off)")
 	readIdle := flag.Duration("read-idle", 0, "idle read deadline per peer (0 = default, negative = disabled)")
 	writeTimeout := flag.Duration("write-timeout", 0, "per-frame write deadline per peer (0 = default, negative = disabled)")
 	traceLevel := flag.String("trace-level", "measure", "in-memory trace verbosity: off|measure|engine (served at /trace/snapshot)")
+	logLevel := flag.String("log-level", "info", "structured event-log verbosity: debug|info|warn|error|off")
+	logFormat := flag.String("log-format", "text", "live log line format on stderr: text|jsonl")
+	logOut := flag.String("log", "", "write the event-log snapshot (JSONL) to this file on shutdown")
 	flag.Parse()
+
+	cli := obs.OpenCLI(*logLevel, *logFormat, *logOut)
+	lg := cli.Logger
 
 	lv, err := trace.ParseLevel(*traceLevel)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		cli.Fatal(2, "trace-setup-failed", obs.Err(err))
 	}
-	// The daemon is a live process, so its trace lane runs on wall seconds
-	// since startup rather than a simulation clock.
+	// The daemon is a live process, so its trace lane and event log run on
+	// wall seconds since startup rather than a simulation clock.
 	start := time.Now()
+	wall := func() float64 { return time.Since(start).Seconds() }
 	tracer := trace.New(trace.Options{Level: lv})
-	tracer.SetClock(func() float64 { return time.Since(start).Seconds() })
+	tracer.SetClock(wall)
 	trace.Enable(tracer) // the node self-wires, like metrics
+	lg.SetClock(wall)
 
 	pol, ok := txpool.ClientByName(*client)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown client %q\n", *client)
-		os.Exit(2)
+		cli.Fatal(2, "unknown-client", obs.String("client", *client))
 	}
 	if *capacity > 0 {
 		pol = pol.WithCapacity(*capacity)
@@ -81,51 +91,25 @@ func main() {
 		Metrics:         reg,
 	}, *listen)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "start: %v\n", err)
-		os.Exit(1)
+		cli.Fatal(1, "start-failed", obs.Err(err))
 	}
-	fmt.Printf("toposhotd listening on %s (network %d, client %s, pool %d)\n",
-		n.Addr(), *networkID, *client, pol.Capacity)
+	lg.Info("listening", obs.String("addr", n.Addr()),
+		obs.Int("network", int64(*networkID)), obs.String("client", *client),
+		obs.Int("pool", int64(pol.Capacity)))
+
+	// The daemon's event stream feeds a watchdog: a peer link going quiet or
+	// the frame budget blowing up surfaces as first-class warn events on the
+	// same stream the dashboard tails.
+	wd := obs.NewWatchdog(obs.WatchdogConfig{StallAfter: 120}, lg)
+	defer wd.Watch(lg)()
 
 	if *metricsHTTP != "" {
+		// The obs dashboard serves /, /dashboard, /events, /log, /ledger,
+		// /metrics, /trace/snapshot, and /progress; the daemon adds its own
+		// /peers and the pprof handlers on top.
+		dash := &obs.Dash{Logger: lg, Metrics: reg, Tracer: tracer}
 		mux := http.NewServeMux()
-		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-			// Prometheus scrapers negotiate the text exposition via
-			// ?format=prom or a text/plain Accept header; everything
-			// else gets the richer JSON snapshot.
-			if r.URL.Query().Get("format") == "prom" ||
-				strings.Contains(r.Header.Get("Accept"), "text/plain") {
-				w.Header().Set("Content-Type", metrics.PromContentType)
-				if err := reg.Snapshot().WriteProm(w); err != nil {
-					http.Error(w, err.Error(), http.StatusInternalServerError)
-				}
-				return
-			}
-			w.Header().Set("Content-Type", "application/json")
-			if err := reg.WriteJSON(w); err != nil {
-				http.Error(w, err.Error(), http.StatusInternalServerError)
-			}
-		})
-		mux.HandleFunc("/trace/snapshot", func(w http.ResponseWriter, r *http.Request) {
-			snap := tracer.Snapshot()
-			if r.URL.Query().Get("format") == "jsonl" {
-				w.Header().Set("Content-Type", "application/jsonl")
-				if err := snap.WriteJSONL(w); err != nil {
-					http.Error(w, err.Error(), http.StatusInternalServerError)
-				}
-				return
-			}
-			w.Header().Set("Content-Type", "application/json")
-			if err := snap.WriteChromeJSON(w); err != nil {
-				http.Error(w, err.Error(), http.StatusInternalServerError)
-			}
-		})
-		mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
-			w.Header().Set("Content-Type", "application/json")
-			enc := json.NewEncoder(w)
-			enc.SetIndent("", "  ")
-			_ = enc.Encode(tracer.Snapshot().Progress())
-		})
+		mux.Handle("/", dash.Handler())
 		mux.HandleFunc("/peers", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
 			enc := json.NewEncoder(w)
@@ -142,11 +126,11 @@ func main() {
 		srv := &http.Server{Addr: *metricsHTTP, Handler: mux}
 		go func() {
 			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-				fmt.Fprintf(os.Stderr, "metrics http: %v\n", err)
+				lg.Error("http-failed", obs.Err(err))
 			}
 		}()
 		defer srv.Close()
-		fmt.Printf("metrics at http://%s/metrics (per-peer stats at /peers, profiles at /debug/pprof)\n", *metricsHTTP)
+		lg.Info("dashboard-listening", obs.String("addr", *metricsHTTP))
 	}
 
 	for _, p := range strings.Split(*peers, ",") {
@@ -155,9 +139,9 @@ func main() {
 			continue
 		}
 		if err := n.Dial(p); err != nil {
-			fmt.Fprintf(os.Stderr, "dial %s: %v\n", p, err)
+			lg.Error("dial-failed", obs.String("peer", p), obs.Err(err))
 		} else {
-			fmt.Printf("peered with %s\n", p)
+			lg.Info("peered", obs.String("peer", p))
 		}
 	}
 
@@ -168,16 +152,22 @@ func main() {
 	for {
 		select {
 		case <-sig:
-			fmt.Println("shutting down")
+			lg.Info("shutting-down")
 			_ = n.Close()
+			if err := cli.Close(); err != nil {
+				lg.Error("log-write-failed", obs.Err(err))
+			}
 			return
 		case <-ticker.C:
 			total, pending, future := n.PoolStats()
 			s := reg.Snapshot()
-			fmt.Printf("peers=%d pool=%d (pending=%d future=%d) frames in/out=%d/%d drops(stall=%d idle=%d)\n",
-				n.PeerCount(), total, pending, future,
-				s.Counters["node.frames.in"], s.Counters["node.frames.out"],
-				s.Counters["node.write_stall_drops"], s.Counters["node.idle_disconnects"])
+			lg.Info("status",
+				obs.Int("peers", int64(n.PeerCount())), obs.Int("pool", int64(total)),
+				obs.Int("pending", int64(pending)), obs.Int("future", int64(future)),
+				obs.Int("frames_in", s.Counters["node.frames.in"]),
+				obs.Int("frames_out", s.Counters["node.frames.out"]),
+				obs.Int("stall_drops", s.Counters["node.write_stall_drops"]),
+				obs.Int("idle_disconnects", s.Counters["node.idle_disconnects"]))
 		}
 	}
 }

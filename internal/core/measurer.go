@@ -13,6 +13,7 @@ import (
 
 	"toposhot/internal/ethsim"
 	"toposhot/internal/metrics"
+	"toposhot/internal/obs"
 	"toposhot/internal/stats"
 	"toposhot/internal/trace"
 	"toposhot/internal/types"
@@ -173,6 +174,13 @@ type Measurer struct {
 
 	// metrics holds the campaign instruments; its zero value is a no-op.
 	metrics measureMetrics
+
+	// olog is the structured event-log scope (nil no-ops every call) and
+	// costs the probe cost-attribution ledger (nil records nothing); phase
+	// labels ledger records with the current campaign phase. See SetObs.
+	olog  *obs.Logger
+	costs *obs.Ledger
+	phase string
 }
 
 // NewMeasurer wires a measurer to a network and supernode.
@@ -192,6 +200,13 @@ func NewMeasurer(net *ethsim.Network, super *ethsim.Supernode, params Params) *M
 	}
 	if tr := trace.Enabled(); tr != nil {
 		m.SetTracer(tr)
+	}
+	// The process-default logger wires events only, never a ledger: cost
+	// ledgers are per-campaign artifacts that callers attach explicitly via
+	// SetObs, so a default-enabled logger can't silently share one across
+	// concurrently running engines.
+	if lg := obs.Enabled(); lg != nil {
+		m.olog = lg
 	}
 	return m
 }
@@ -306,6 +321,7 @@ func (m *Measurer) MeasureOneLink(a, b types.NodeID) (bool, error) {
 	if m.net.Node(a) == nil || m.net.Node(b) == nil {
 		return false, fmt.Errorf("core: unknown target %v or %v", a, b)
 	}
+	probeStart := m.net.Now()
 	span := m.tracer.StartSpan(SpanOneLink,
 		trace.Int(attrNodeA, int64(a)), trace.Int(attrNodeB, int64(b)),
 		trace.Int(attrRepeat, int64(m.repeatIdx)))
@@ -382,6 +398,11 @@ func (m *Measurer) MeasureOneLink(a, b types.NodeID) (bool, error) {
 	dc.SetAttr(trace.String(AttrVerdict, verdict.String()))
 	dc.End()
 	span.SetAttr(trace.String(AttrVerdict, verdict.String()))
+	// One ledger line per probe: 3 pending (txC/txB/txA), both endpoints'
+	// eviction futures, worst-case fees in emission order.
+	m.recordPairCost(a, b, 3, len(futB)+len(futA),
+		float64(txC.Fee())+float64(txB.Fee())+float64(txA.Fee())+feeWei(futB)+feeWei(futA),
+		probeStart, verdict.String(), detected)
 	m.metrics.oneLinks.Inc()
 	m.metrics.edgesMeasured.Inc()
 	if detected {

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"toposhot/internal/obs"
+	"toposhot/internal/types"
+)
+
+// Structured event messages the measurement layer emits on its obs scope.
+// Like the trace span-name table, keeping these as constants keeps the event
+// stream greppable and diffable across runs.
+const (
+	MsgCampaignStarted = "campaign-started"
+	MsgCampaignDone    = "campaign-done"
+	MsgBatchDone       = "batch-done"
+)
+
+// SetObs binds the measurer to a structured event logger scope and a probe
+// cost-attribution ledger, pointing the scope's clock at the network's
+// virtual time (the same contract as SetTracer). Experiments that fan out
+// over workers pass each measurer its own pre-created scope and its own
+// ledger; sharing either across concurrently running engines would destroy
+// the byte-identity guarantee. Both may be nil: a nil logger records no
+// events, a nil ledger no cost records.
+func (m *Measurer) SetObs(lg *obs.Logger, costs *obs.Ledger) {
+	m.olog = lg
+	m.costs = costs
+	lg.SetClock(m.net.Now)
+}
+
+// Obs returns the measurer's event-log scope (nil when logging is off).
+func (m *Measurer) Obs() *obs.Logger { return m.olog }
+
+// ObsLedger returns the attached cost ledger (nil when none).
+func (m *Measurer) ObsLedger() *obs.Ledger { return m.costs }
+
+// SetPhase labels subsequent cost-ledger records with a campaign phase
+// ("preprocess", "census", "tick-3", ...), the middle level of the
+// per-pair → per-phase → per-campaign aggregation.
+func (m *Measurer) SetPhase(p string) { m.phase = p }
+
+// Phase returns the current ledger phase label.
+func (m *Measurer) Phase() string { return m.phase }
+
+// feeWei sums the worst-case fees of a transaction slice in slice order
+// (deterministic: callers pass slices built in deterministic order).
+func feeWei(txs []*types.Transaction) float64 {
+	var sum float64
+	for _, tx := range txs {
+		sum += float64(tx.Fee())
+	}
+	return sum
+}
+
+// recordPairCost appends one pair record: the per-probe "why" line that
+// makes a single link inference auditable — what was spent, when, and what
+// verdict it bought.
+func (m *Measurer) recordPairCost(a, b types.NodeID, pending, futures int,
+	fee, start float64, verdict string, detected bool) {
+	if m.costs == nil {
+		return
+	}
+	m.costs.Record(obs.ProbeRecord{
+		Phase:    m.phase,
+		Kind:     obs.KindPair,
+		A:        a,
+		B:        b,
+		Pending:  pending,
+		Futures:  futures,
+		FeeWei:   fee,
+		Start:    start,
+		End:      m.net.Now(),
+		Verdict:  verdict,
+		Detected: detected,
+	})
+}
+
+// recordRoundCost appends one round record carrying the cost shared across a
+// MeasurePar batch (the per-participant mempool fills), which no single pair
+// owns.
+func (m *Measurer) recordRoundCost(futures int, fee, start float64) {
+	if m.costs == nil {
+		return
+	}
+	m.costs.Record(obs.ProbeRecord{
+		Phase:   m.phase,
+		Kind:    obs.KindRound,
+		Futures: futures,
+		FeeWei:  fee,
+		Start:   start,
+		End:     m.net.Now(),
+	})
+}

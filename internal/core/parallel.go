@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"toposhot/internal/obs"
 	"toposhot/internal/trace"
 	"toposhot/internal/types"
 )
@@ -102,10 +103,14 @@ func (m *Measurer) MeasurePar(edges []Edge) (*ParResult, error) {
 	// Sink setup (paper's p3): Z futures evict the txCs, then the r-slot
 	// stream plants txB for own edges and re-plants txC for the others.
 	ss := m.tracer.StartSpan(spanSinkSetup, trace.Int(attrNodes, int64(len(sinks))))
+	var futCount int
+	var futFee float64
 	sinkOrder := sortedIDs(sinks)
 	for _, b := range sinkOrder {
 		fut := m.mintFutures(m.zFor(b), m.params.PriceFuture(y))
 		m.Ledger.RecordFutures(fut)
+		futCount += len(fut)
+		futFee += feeWei(fut)
 		m.super.Inject(b, fut...)
 		stream := make([]*types.Transaction, len(edges))
 		for i, e := range edges {
@@ -128,6 +133,8 @@ func (m *Measurer) MeasurePar(edges []Edge) (*ParResult, error) {
 	for _, a := range srcOrder {
 		fut := m.mintFutures(m.zFor(a), m.params.PriceFuture(y))
 		m.Ledger.RecordFutures(fut)
+		futCount += len(fut)
+		futFee += feeWei(fut)
 		m.super.Inject(a, fut...)
 		var others, own []*types.Transaction
 		for i, e := range edges {
@@ -172,6 +179,31 @@ func (m *Measurer) MeasurePar(edges []Edge) (*ParResult, error) {
 	span.SetAttr(trace.Int(attrDetected, int64(res.Detected.Len())))
 	span.SetAttr(trace.Int(attrFailed, int64(len(res.SetupFailed))))
 	res.Duration = m.net.Now() - start
+
+	// Cost attribution: each edge owns its three measurement transactions
+	// and its verdict; the per-participant mempool fills are shared batch
+	// cost and land on one round record. Records append in edge order, then
+	// the round line — deterministic for a single engine at any lane width.
+	if m.costs != nil {
+		failed := make(map[Edge]struct{}, len(res.SetupFailed))
+		for _, e := range res.SetupFailed {
+			failed[e] = struct{}{}
+		}
+		for i, e := range edges {
+			detected := res.Detected.Has(e.Source, e.Sink)
+			verdict := "undetected"
+			if detected {
+				verdict = "detected"
+			} else if _, ok := failed[e]; ok {
+				verdict = obs.VerdictSetupFailed
+			}
+			m.recordPairCost(e.Source, e.Sink, 3, 0,
+				float64(txC[i].Fee())+float64(txA[i].Fee())+float64(txB[i].Fee()),
+				start, verdict, detected)
+		}
+		m.recordRoundCost(futCount, futFee, start)
+	}
+
 	m.metrics.rounds.Inc()
 	m.metrics.edgesMeasured.Add(int64(len(edges)))
 	m.metrics.edgesDetected.Add(int64(res.Detected.Len()))
@@ -421,6 +453,12 @@ func (m *Measurer) MeasureNetworkResume(nodes []types.NodeID, k, edgeBudget int,
 		trace.Int(trace.AttrTotal, int64(totalPairs)))
 	defer span.End()
 	span.SetAttr(trace.Int(trace.AttrDone, int64(out.PairsMeasured)))
+	// The span attr carries the trace cross-link: events and trace records
+	// of one campaign join on (scope clock, span id).
+	m.olog.Info(MsgCampaignStarted,
+		obs.Int("nodes", int64(len(nodes))), obs.Int("k", int64(k)),
+		obs.Int("pairs_total", int64(totalPairs)), obs.Int("batches", int64(len(plan))),
+		obs.Int("batches_done", int64(done)), obs.Int("span", int64(span.ID())))
 
 	for ; done < len(plan); done++ {
 		b := plan[done]
@@ -439,6 +477,10 @@ func (m *Measurer) MeasureNetworkResume(nodes []types.NodeID, k, edgeBudget int,
 			out.Iterations = b.iteration
 		}
 		span.SetAttr(trace.Int(trace.AttrDone, int64(out.PairsMeasured)))
+		m.olog.Debug(MsgBatchDone,
+			obs.Int("batch", int64(done+1)), obs.Int("batches", int64(len(plan))),
+			obs.Int("pairs_done", int64(out.PairsMeasured)),
+			obs.Int("detected", int64(out.Detected.Len())))
 		if onBatch != nil {
 			if err := onBatch(m.captureCampaignState(done+1, start, out)); err != nil {
 				return nil, fmt.Errorf("core: campaign checkpoint: %w", err)
@@ -447,6 +489,10 @@ func (m *Measurer) MeasureNetworkResume(nodes []types.NodeID, k, edgeBudget int,
 	}
 
 	out.Duration = m.net.Now() - start
+	m.olog.Info(MsgCampaignDone,
+		obs.Int("pairs", int64(out.PairsMeasured)), obs.Int("detected", int64(out.Detected.Len())),
+		obs.Int("calls", int64(out.Calls)), obs.Int("setup_fails", int64(out.SetupFails)),
+		obs.Float("virtual_s", out.Duration))
 	return out, nil
 }
 

@@ -116,6 +116,7 @@ func comparePairs(cfg CompareConfig, seed int64, truth *core.EdgeSet,
 func Compare(seed int64, cfg CompareConfig) ([]CompareRow, error) {
 	ms := strategy.Methods()
 	lanes := sweepLanes("compare", len(ms))
+	scopes := obsScopes("compare", len(ms))
 	type res struct {
 		row CompareRow
 		err error
@@ -130,13 +131,16 @@ func Compare(seed int64, cfg CompareConfig) ([]CompareRow, error) {
 		if err != nil {
 			return res{err: err}
 		}
-		out, err := strategy.RunPairs(lanes[i], net, s, pairs)
+		out, err := strategy.RunPairs(lanes[i], scopes[i], net, s, pairs)
 		if err != nil {
 			return res{err: fmt.Errorf("%s: %w", ms[i], err)}
 		}
 		row := CompareRow{
 			Method: ms[i], Pairs: len(pairs), Score: out.Score(truth),
-			Cost: out.Cost, VirtualSeconds: out.VirtualSeconds,
+			// The cost columns are reproduced from the campaign's ledger
+			// aggregation, not the strategy's side counters — RunPairs
+			// enforces the two are identical, so the table is the ledger.
+			Cost: out.LedgerCost(), VirtualSeconds: out.VirtualSeconds,
 		}
 		switch ms[i] {
 		case strategy.MethodTopoShot:

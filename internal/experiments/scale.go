@@ -8,6 +8,7 @@ import (
 	"toposhot/internal/ethsim"
 	"toposhot/internal/graph"
 	"toposhot/internal/netgen"
+	"toposhot/internal/obs"
 	"toposhot/internal/runner"
 	"toposhot/internal/trace"
 	"toposhot/internal/txpool"
@@ -124,7 +125,7 @@ func regionBounds(r, k, n int) (int, int) {
 // runScaleRegion censuses one region's induced subgraph in a fresh replica
 // network. Everything about the region run is a pure function of (cfg, g,
 // region index), so regions may execute in any order on any worker.
-func runScaleRegion(cfg ScaleCensusConfig, g *graph.Graph, region int) (*ScaleRegion, *core.EdgeSet, map[types.NodeID]int, error) {
+func runScaleRegion(cfg ScaleCensusConfig, g *graph.Graph, region int, lg *obs.Logger) (*ScaleRegion, *core.EdgeSet, map[types.NodeID]int, error) {
 	lo, hi := regionBounds(region, cfg.Regions, cfg.Grow.N)
 	sub := graph.New()
 	for v := lo; v < hi; v++ {
@@ -173,6 +174,10 @@ func runScaleRegion(cfg ScaleCensusConfig, g *graph.Graph, region int) (*ScaleRe
 	params.SettleTime = 6
 	m := core.NewMeasurer(net, super, params)
 	m.SetTracer(tr)
+	// The region's events go to its own pre-created scope (never the shared
+	// root scope: concurrent regions interleaving there would break snapshot
+	// byte-identity). No ledger — scale cost accounting reads m.Ledger.
+	m.SetObs(lg, nil)
 
 	pre := m.Preprocess(inst.IDs)
 	targets := pre.EligibleNodes(inst.IDs)
@@ -221,8 +226,11 @@ func RunScaleCensus(cfg ScaleCensusConfig) (*ScaleCensus, error) {
 		detected *core.EdgeSet
 		back     map[types.NodeID]int
 	}
+	// One event-log scope per region, pre-created serially so scope ids are
+	// deterministic at any worker-pool width (the obsScopes convention).
+	scopes := obsScopes(fmt.Sprintf("scale:%s/%d", cfg.Name, cfg.Seed), cfg.Regions)
 	outs, err := runner.MapErr(0, cfg.Regions, func(r int) (regionOut, error) {
-		row, det, back, rerr := runScaleRegion(cfg, g, r)
+		row, det, back, rerr := runScaleRegion(cfg, g, r, scopes[r])
 		return regionOut{row, det, back}, rerr
 	})
 	if err != nil {

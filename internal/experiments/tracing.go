@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"toposhot/internal/obs"
 	"toposhot/internal/trace"
 )
 
@@ -47,6 +48,22 @@ func sweepLanes(name string, n int) []*trace.Tracer {
 		lanes[i] = tr.Lane(fmt.Sprintf("%s[%d]", name, i), nil)
 	}
 	return lanes
+}
+
+// obsScopes is sweepLanes' event-log analog: one pre-created logger scope per
+// sweep row, named "<name>[row]", created serially BEFORE the runner fan-out
+// so scope ids — and therefore snapshot order — are deterministic at any pool
+// width. With event logging off every element is nil, which no-ops logging.
+func obsScopes(name string, n int) []*obs.Logger {
+	scopes := make([]*obs.Logger, n)
+	lg := obs.Enabled()
+	if lg == nil {
+		return scopes
+	}
+	for i := range scopes {
+		scopes[i] = lg.Scope(fmt.Sprintf("%s[%d]", name, i), nil)
+	}
+	return scopes
 }
 
 // rowSpan opens the per-row span on a sweep lane with the standard row,

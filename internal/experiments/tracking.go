@@ -9,10 +9,22 @@ import (
 	"toposhot/internal/ethsim"
 	"toposhot/internal/graph"
 	"toposhot/internal/netgen"
+	"toposhot/internal/obs"
 	"toposhot/internal/runner"
 	"toposhot/internal/tracker"
 	"toposhot/internal/txpool"
 	"toposhot/internal/types"
+)
+
+// Ledger phase labels and event names the tracking driver records.
+const (
+	// phaseCensusCost labels the seeding census's records in the cost ledger
+	// (the per-tick phases are "tick-N").
+	phaseCensusCost = "census"
+	// scopeTracking is the driver's event-log scope.
+	scopeTracking = "tracking"
+	// msgTickDone is the per-tick structured event.
+	msgTickDone = "tick-done"
 )
 
 // TrackingConfig sizes an incremental-tracking experiment: one seeding
@@ -41,6 +53,11 @@ type TrackingConfig struct {
 	HintEvery int
 	// Lanes is the engine lane count (wall-clock only, never results).
 	Lanes int
+	// Ledger, when set, receives the run's cost attribution in place of a
+	// fresh internal one — the CLI passes the live dashboard's ledger so cost
+	// burn is visible mid-run. It must start empty (the attribution
+	// cross-checks assume so).
+	Ledger *obs.Ledger
 	// OnTick, when set, observes each completed tick with checkpointing
 	// access to the live network and tracker (the CLI writes resumable
 	// checkpoints from it). An error aborts the run.
@@ -131,6 +148,12 @@ type Tracking struct {
 	FinalScore core.Score
 	MeanRecall float64
 	MinRecall  float64
+	// CostLedger attributes every probe transaction this run sent: the
+	// seeding census under phase "census" (fresh runs only), each delta
+	// campaign under "tick-N". RunTracking cross-checks its aggregation
+	// against the measurers' own core.Ledger counters, so the cost tables
+	// FormatTrackingCost renders are the attribution, not a side tally.
+	CostLedger *obs.Ledger
 }
 
 // CostReductionX is the transaction-cost ratio of re-running the seeding
@@ -194,7 +217,11 @@ func RunTracking(cfg TrackingConfig) (*Tracking, error) {
 		startTick int
 		churnSeen int
 	)
-	out := &Tracking{Config: cfg}
+	out := &Tracking{Config: cfg, CostLedger: cfg.Ledger}
+	if out.CostLedger == nil {
+		out.CostLedger = obs.NewLedger()
+	}
+	led := out.CostLedger
 
 	params := core.DefaultParams()
 	params.Z = int(float64(txpool.Geth.Capacity) * cfg.Census.PoolScale)
@@ -268,11 +295,19 @@ func RunTracking(cfg TrackingConfig) (*Tracking, error) {
 		}
 
 		preTxs := m.Ledger.PendingCount() + m.Ledger.FutureCount()
+		// The seeding census attributes its spend to the run ledger under one
+		// phase; the cross-check below proves the attribution is exhaustive.
+		m.SetObs(m.Obs(), led)
+		m.SetPhase(phaseCensusCost)
 		res, err := m.MeasureNetwork(targets, cfg.Census.GroupK, cfg.Census.EdgeBudget)
 		if err != nil {
 			return nil, fmt.Errorf("tracking: seeding census: %w", err)
 		}
 		out.BaselineTxs = m.Ledger.PendingCount() + m.Ledger.FutureCount() - preTxs
+		if got := led.Totals().Txs(); got != out.BaselineTxs {
+			return nil, fmt.Errorf("tracking: census cost attribution drifted: ledger %d txs vs measurer %d",
+				got, out.BaselineTxs)
+		}
 		out.BaselineEther = core.Ether(m.Ledger.WorstCaseWei())
 		out.BaselineDuration = res.Duration
 		out.CensusScore = scoreTracked(res.Detected, net, targets)
@@ -294,6 +329,15 @@ func RunTracking(cfg TrackingConfig) (*Tracking, error) {
 		})
 	}
 	out.Targets = len(targets)
+
+	// The tracker's measurer feeds the same run ledger, phase-labelled per
+	// tick. censusLedTxs marks the census/tick boundary for the final
+	// cross-check (zero on resume: the continuation's ledger starts empty).
+	pm := probe.Measurer()
+	pm.SetObs(pm.Obs(), led)
+	censusLedTxs := led.Totals().Txs()
+	lg := obs.Enabled().Scope(scopeTracking, nil)
+	lg.SetClock(net.Now)
 
 	churn := net.Churns()[0]
 	ledger := probe.Measurer().Ledger
@@ -325,6 +369,7 @@ func RunTracking(cfg TrackingConfig) (*Tracking, error) {
 		drainHints()
 
 		t0 := net.Now()
+		pm.SetPhase(fmt.Sprintf("tick-%d", tick+1))
 		rep, err := trk.Tick()
 		if err != nil {
 			return nil, fmt.Errorf("tracking: tick %d: %w", tick+1, err)
@@ -355,6 +400,11 @@ func RunTracking(cfg TrackingConfig) (*Tracking, error) {
 				return nil, fmt.Errorf("tracking: tick %d checkpoint: %w", tick+1, err)
 			}
 		}
+		lg.Info(msgTickDone,
+			obs.Int("tick", int64(tt.Tick)), obs.Int("planned", int64(rep.Planned)),
+			obs.Int("urgent", int64(rep.Urgent)), obs.Int("changed", int64(rep.Changed)),
+			obs.Int("failed", int64(rep.Failed)), obs.Float("recall", tt.Score.Recall()),
+			obs.Int("cum_txs", int64(tt.Txs)))
 		tt.Net, tt.Tracker, tt.Run, tt.Back = nil, nil, nil, nil
 		out.Ticks = append(out.Ticks, tt)
 		recallSum += tt.Score.Recall()
@@ -363,6 +413,9 @@ func RunTracking(cfg TrackingConfig) (*Tracking, error) {
 		}
 	}
 
+	if got, want := led.Totals().Txs()-censusLedTxs, ledger.PendingCount()+ledger.FutureCount(); got != want {
+		return nil, fmt.Errorf("tracking: tick cost attribution drifted: ledger %d txs vs measurer %d", got, want)
+	}
 	out.TrackerTxs = baseTxs + ledger.PendingCount() + ledger.FutureCount()
 	out.TrackerEther = baseEther + core.Ether(ledger.WorstCaseWei())
 	out.ChurnEvents = churnSeen
@@ -446,5 +499,28 @@ func FormatTracking(t *Tracking) string {
 		t.TrackerTxs, t.TrackerEther, t.TrackerDuration/3600)
 	fmt.Fprintf(&b, "vs census-per-tick: %.1fx fewer txs, %.1fx less virtual time; recall loss %.4f (mean %.4f, min %.4f)\n",
 		t.CostReductionX(), t.VirtualReductionX(), t.RecallLoss(), t.MeanRecall, t.MinRecall)
+	return b.String()
+}
+
+// FormatTrackingCost renders the per-phase probe-cost table from the run's
+// attribution ledger — the numbers are aggregated from per-record
+// attribution, which RunTracking cross-checked against the measurers' own
+// counters before returning.
+func FormatTrackingCost(t *Tracking) string {
+	if t.CostLedger.Len() == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("cost attribution (aggregated from the probe ledger):\n")
+	fmt.Fprintf(&b, "  %-10s %8s %6s %9s %8s %8s %8s %10s\n",
+		"phase", "records", "pairs", "detected", "pending", "futures", "txs", "fee-ETH")
+	row := func(name string, c obs.CostTotals) {
+		fmt.Fprintf(&b, "  %-10s %8d %6d %9d %8d %8d %8d %10.4f\n",
+			name, c.Records, c.Pairs, c.Detected, c.Pending, c.Futures, c.Txs(), c.FeeEther())
+	}
+	for _, p := range t.CostLedger.ByPhase() {
+		row(p.Phase, p.CostTotals)
+	}
+	row("total", t.CostLedger.Totals())
 	return b.String()
 }

@@ -49,7 +49,24 @@ func TestRunTrackingSmall(t *testing.T) {
 			t.Fatalf("FormatTracking output missing %q:\n%s", want, out)
 		}
 	}
-	t.Log("\n" + out)
+	// The attribution ledger must reproduce the reported spend exactly: the
+	// census phase aggregates to the baseline, the whole ledger to baseline
+	// plus tracker spend (RunTracking cross-checks this too; pin it here so a
+	// relaxed cross-check cannot slip through).
+	if got := tr.CostLedger.Totals().Txs(); got != tr.BaselineTxs+tr.TrackerTxs {
+		t.Fatalf("ledger attributes %d txs, reported spend is %d+%d", got, tr.BaselineTxs, tr.TrackerTxs)
+	}
+	phases := tr.CostLedger.ByPhase()
+	if len(phases) == 0 || phases[0].Phase != "census" || phases[0].Txs() != tr.BaselineTxs {
+		t.Fatalf("census phase attribution wrong: %+v (baseline %d)", phases, tr.BaselineTxs)
+	}
+	cost := FormatTrackingCost(tr)
+	for _, want := range []string{"cost attribution", "census", "tick-1", "total"} {
+		if !strings.Contains(cost, want) {
+			t.Fatalf("FormatTrackingCost output missing %q:\n%s", want, cost)
+		}
+	}
+	t.Log("\n" + out + cost)
 }
 
 // TestRunTrackingResume checkpoints a tracking run mid-campaign through the

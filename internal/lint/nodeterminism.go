@@ -11,8 +11,11 @@ import (
 // from a seed: the simulators, the measurement core, the measurement
 // strategies built on it, topology generation, the pool model the simulator
 // drives, the worker pool that runs independent simulations concurrently,
-// and the topology tracker (whose probe schedule must replay identically
-// from a checkpoint).
+// the topology tracker (whose probe schedule must replay identically from a
+// checkpoint), and the observability layer (whose event-log snapshots and
+// cost ledgers must byte-compare equal across same-seed runs at any
+// parallelism — timestamps come from injected virtual clocks, never the
+// wall).
 var nodeterminismScope = []string{
 	modulePrefix + "/internal/sim",
 	modulePrefix + "/internal/ethsim",
@@ -22,6 +25,7 @@ var nodeterminismScope = []string{
 	modulePrefix + "/internal/txpool",
 	modulePrefix + "/internal/runner",
 	modulePrefix + "/internal/tracker",
+	modulePrefix + "/internal/obs",
 }
 
 // timeBanned are time-package functions that read the wall clock or real

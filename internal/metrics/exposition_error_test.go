@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+)
+
+var errExpoSink = errors.New("exposition sink failed")
+
+// shortWriter accepts limit bytes, then every further Write fails.
+type shortWriter struct {
+	limit   int
+	written int
+}
+
+func (w *shortWriter) Write(p []byte) (int, error) {
+	if w.written+len(p) > w.limit {
+		return 0, errExpoSink
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+func expoTestRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("n.frames").Add(12)
+	r.Counter("probe.sent").Add(3)
+	r.Gauge("pool.depth").Set(100)
+	h := r.Histogram("rtt", []float64{1, 2, 4})
+	h.Observe(0.5)
+	h.Observe(3)
+	h.Observe(9)
+	return r
+}
+
+// TestWritePromWriteFailure dies the sink at every byte offset of the
+// exposition and checks the error always surfaces — a scrape against a
+// closed connection must not be reported as success.
+func TestWritePromWriteFailure(t *testing.T) {
+	s := expoTestRegistry().Snapshot()
+	var full bytes.Buffer
+	if err := s.WriteProm(&full); err != nil {
+		t.Fatal(err)
+	}
+	for limit := 0; limit < full.Len(); limit++ {
+		if err := s.WriteProm(&shortWriter{limit: limit}); !errors.Is(err, errExpoSink) {
+			t.Fatalf("limit %d: got %v, want errExpoSink", limit, err)
+		}
+	}
+	if err := s.WriteProm(&shortWriter{limit: full.Len()}); err != nil {
+		t.Fatalf("exact-size writer should succeed: %v", err)
+	}
+}
+
+func TestWriteJSONWriteFailure(t *testing.T) {
+	r := expoTestRegistry()
+	if err := r.WriteJSON(&shortWriter{limit: 0}); !errors.Is(err, errExpoSink) {
+		t.Fatalf("got %v, want errExpoSink", err)
+	}
+	if err := r.WriteJSON(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNilRegistryExposition: a nil registry is the uninstrumented default —
+// snapshots are empty, expositions succeed and render nothing, and every
+// instrument method on nil receivers no-ops.
+func TestNilRegistryExposition(t *testing.T) {
+	var r *Registry
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", s)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("empty snapshot rendered %q", buf.String())
+	}
+	(*Counter)(nil).Inc()
+	(*Counter)(nil).Add(5)
+	(*Gauge)(nil).Set(7)
+	(*Histogram)(nil).Observe(1.5)
+}
+
+// TestSnapshotDuringWrites scrapes (JSON and Prometheus) while writer
+// goroutines hammer every instrument kind — exercised under -race, this
+// pins that exposition only reads the atomic snapshot, never live state.
+func TestSnapshotDuringWrites(t *testing.T) {
+	r := expoTestRegistry()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Counter("n.frames").Inc()
+				r.Gauge("pool.depth").Set(int64(i))
+				r.Histogram("rtt", []float64{1, 2, 4}).Observe(float64(i % 8))
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		if err := r.WriteJSON(io.Discard); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Snapshot().WriteProm(io.Discard); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,554 @@
+// Package obs is the repository's campaign observability subsystem: a
+// deterministic structured event log, a probe cost-attribution ledger, a
+// stream-consuming watchdog, and the live HTTP dashboard that serves all of
+// them — unifying what internal/metrics ("how many"), internal/trace ("where
+// did the time go"), and core.Ledger ("what would it cost") record under one
+// campaign-scoped stream an operator can watch mid-run.
+//
+// Design constraints, in order (the same contract as internal/trace):
+//
+//   - Determinism. Recorded timestamps come from the engine's virtual clock —
+//     never time.Now() — and every event carries a per-scope monotonic
+//     sequence number. The deterministic artifact is the buffered Snapshot
+//     (ordered by scope id, then seq); same-seed runs serialize it to
+//     byte-identical JSONL at any -parallel/-lanes width, provided scopes are
+//     created before any parallel fan-out (the sweepLanes convention). The
+//     optional live sink is arrival-ordered and operator-facing only.
+//   - Nil safety. A nil *Logger and a nil *Ledger no-op every method behind a
+//     single branch, so call sites never guard — the same convention the
+//     metrics-nilsafe and trace-nilsafe lint rules enforce for their packages.
+//   - Zero dependencies. Standard library only, plus the repository's own
+//     metrics/trace/types leaves, so every layer can import it.
+//
+// Typical wiring:
+//
+//	lg, _ := obs.NewCLI("info", "text", os.Stderr)
+//	obs.Enable(lg)                      // measurers self-wire, like metrics
+//	lg.Info("campaign-started", obs.Int("nodes", 30))
+//	...
+//	_ = lg.Snapshot().WriteJSONL(f)     // the deterministic artifact
+package obs
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Level orders event severities; events below a logger's level are dropped.
+type Level uint8
+
+const (
+	// LevelDebug records everything, including per-batch progress events.
+	LevelDebug Level = iota
+	// LevelInfo is the CLI default: campaign lifecycle and phase summaries.
+	LevelInfo
+	// LevelWarn records anomalies (watchdog findings, degraded phases).
+	LevelWarn
+	// LevelError records failures.
+	LevelError
+	// LevelOff records nothing; New returns a nil logger for it.
+	LevelOff
+)
+
+// ParseLevel parses the -log-level flag values debug|info|warn|error|off.
+func ParseLevel(s string) (Level, error) {
+	switch s {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	case "off":
+		return LevelOff, nil
+	}
+	return LevelOff, fmt.Errorf("obs: unknown level %q (want debug|info|warn|error|off)", s)
+}
+
+// String renders the level as its flag spelling.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	}
+	return "off"
+}
+
+// Format selects the live-sink rendering.
+type Format uint8
+
+const (
+	// FormatText is the human logfmt-style line format (-log-format text).
+	FormatText Format = iota
+	// FormatJSONL renders each live event as one JSON line.
+	FormatJSONL
+)
+
+// ParseFormat parses the -log-format flag values text|jsonl.
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "text":
+		return FormatText, nil
+	case "jsonl":
+		return FormatJSONL, nil
+	}
+	return FormatText, fmt.Errorf("obs: unknown format %q (want text|jsonl)", s)
+}
+
+// fieldKind discriminates Field payloads.
+type fieldKind uint8
+
+const (
+	fieldString fieldKind = iota
+	fieldInt
+	fieldFloat
+	fieldBool
+)
+
+// Field is one typed event attribute. Construct with String, Int, Float,
+// Bool, or Err; the zero value is an empty string field.
+type Field struct {
+	Key  string
+	kind fieldKind
+	str  string
+	num  int64
+	f    float64
+}
+
+// String returns a string-valued field.
+func String(key, v string) Field { return Field{Key: key, kind: fieldString, str: v} }
+
+// Int returns an integer-valued field.
+func Int(key string, v int64) Field { return Field{Key: key, kind: fieldInt, num: v} }
+
+// Float returns a float-valued field.
+func Float(key string, v float64) Field { return Field{Key: key, kind: fieldFloat, f: v} }
+
+// Bool returns a boolean field.
+func Bool(key string, v bool) Field {
+	var n int64
+	if v {
+		n = 1
+	}
+	return Field{Key: key, kind: fieldBool, num: n}
+}
+
+// Err returns the conventional "err" field for an error value.
+func Err(err error) Field {
+	if err == nil {
+		return String("err", "")
+	}
+	return String("err", err.Error())
+}
+
+// Value returns the field's payload as an interface value (for export).
+func (f Field) Value() interface{} {
+	switch f.kind {
+	case fieldInt:
+		return f.num
+	case fieldFloat:
+		return f.f
+	case fieldBool:
+		return f.num != 0
+	}
+	return f.str
+}
+
+// maxFields bounds the fields carried per event; extras are dropped silently.
+const maxFields = 8
+
+// setField inserts or overwrites a field in a fixed field array.
+func setField(fields *[maxFields]Field, n int, f Field) int {
+	for i := 0; i < n; i++ {
+		if fields[i].Key == f.Key {
+			fields[i] = f
+			return n
+		}
+	}
+	if n < maxFields {
+		fields[n] = f
+		return n + 1
+	}
+	return n
+}
+
+// Event is one structured log record as it sits in a scope's ring and in
+// snapshots. Time is virtual-clock seconds; Seq is the scope-local monotonic
+// sequence number — together they give events a strict, replayable total
+// order within a scope.
+type Event struct {
+	Scope   int
+	Seq     uint64
+	Time    float64
+	Level   Level
+	Msg     string
+	NFields int
+	Fields  [maxFields]Field
+}
+
+// FieldList returns the event's fields as a slice view.
+func (e *Event) FieldList() []Field { return e.Fields[:e.NFields] }
+
+// Field returns the field with the given key, or false.
+func (e *Event) Field(key string) (Field, bool) {
+	for i := 0; i < e.NFields; i++ {
+		if e.Fields[i].Key == key {
+			return e.Fields[i], true
+		}
+	}
+	return Field{}, false
+}
+
+// Options configures a logger.
+type Options struct {
+	// Level is the minimum severity recorded; LevelOff yields a nil logger.
+	Level Level
+	// Capacity is the per-scope ring size in events; 0 means DefaultCapacity.
+	Capacity int
+	// Live, when non-nil, receives every event as it happens, in arrival
+	// order (non-deterministic under parallelism; operator-facing only).
+	Live io.Writer
+	// LiveFormat selects the live sink's rendering.
+	LiveFormat Format
+}
+
+// DefaultCapacity is the per-scope ring size (events) when Options.Capacity
+// is zero. Long campaigns wrap and keep the most recent window, counted in
+// Dropped — deterministically, since each scope wraps on its own stream.
+const DefaultCapacity = 8192
+
+// sink is the shared state behind a logger's scope views.
+type sink struct {
+	level Level
+	cap   int
+
+	mu     sync.Mutex
+	scopes []*scope
+	nextID int
+
+	liveMu     sync.Mutex
+	live       io.Writer
+	liveFormat Format
+	taps       []func(Event)
+}
+
+// scope is one recording track. All mutation happens under mu so live HTTP
+// snapshots can read a scope another goroutine is writing.
+type scope struct {
+	mu    sync.Mutex
+	id    int
+	name  string
+	clock func() float64
+
+	ring    []Event
+	n       uint64 // events ever written; slot = (n-1) % cap
+	dropped uint64
+	seq     uint64
+}
+
+// Logger is a scope view over a shared event-log sink, optionally carrying
+// bound context fields (With). The zero of its pointer type is the disabled
+// logger: every method on a nil *Logger is a no-op behind one branch.
+type Logger struct {
+	s     *sink
+	sc    *scope
+	bound []Field
+}
+
+// New returns a logger recording at the given level, viewing a fresh sink's
+// root scope (id 0, "main"). A LevelOff logger is returned as nil, keeping
+// the whole instrumentation tree on the zero-cost path.
+func New(o Options) *Logger {
+	if o.Level >= LevelOff {
+		return nil
+	}
+	if o.Capacity <= 0 {
+		o.Capacity = DefaultCapacity
+	}
+	s := &sink{level: o.Level, cap: o.Capacity, live: o.Live, liveFormat: o.LiveFormat}
+	return s.newScope("main", nil)
+}
+
+// NewCLI builds a logger from the shared -log-level/-log-format CLI flag
+// values, with live lines on w (typically os.Stderr). Level "off" yields a
+// nil logger, which no-ops everything.
+func NewCLI(level, format string, w io.Writer) (*Logger, error) {
+	lv, err := ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	fm, err := ParseFormat(format)
+	if err != nil {
+		return nil, err
+	}
+	return New(Options{Level: lv, Live: w, LiveFormat: fm}), nil
+}
+
+func (s *sink) newScope(name string, clock func() float64) *Logger {
+	s.mu.Lock()
+	sc := &scope{
+		id:    s.nextID,
+		name:  name,
+		clock: clock,
+		ring:  make([]Event, s.cap),
+	}
+	s.nextID++
+	s.scopes = append(s.scopes, sc)
+	s.mu.Unlock()
+	return &Logger{s: s, sc: sc}
+}
+
+// Scope creates a new recording track on the logger's sink and returns a
+// view of it. Scope ids are assigned in creation order; create scopes before
+// a parallel fan-out to keep ids (and therefore snapshot order)
+// deterministic. clock supplies the scope's virtual time; nil records zeros
+// until SetClock. On a nil logger, Scope returns nil.
+func (l *Logger) Scope(name string, clock func() float64) *Logger {
+	if l == nil {
+		return nil
+	}
+	return l.s.newScope(name, clock)
+}
+
+// With returns a logger view carrying additional bound fields, prepended to
+// every event it records. The view shares the receiver's scope.
+func (l *Logger) With(fields ...Field) *Logger {
+	if l == nil {
+		return nil
+	}
+	bound := make([]Field, 0, len(l.bound)+len(fields))
+	bound = append(bound, l.bound...)
+	bound = append(bound, fields...)
+	return &Logger{s: l.s, sc: l.sc, bound: bound}
+}
+
+// SetClock binds the scope to a virtual clock (typically Network.Now). It
+// should be set before recording; events recorded without a clock carry
+// time 0.
+func (l *Logger) SetClock(clock func() float64) {
+	if l == nil {
+		return
+	}
+	l.sc.mu.Lock()
+	l.sc.clock = clock
+	l.sc.mu.Unlock()
+}
+
+// Level returns the minimum recorded severity; LevelOff on a nil logger.
+func (l *Logger) Level() Level {
+	if l == nil {
+		return LevelOff
+	}
+	return l.s.level
+}
+
+// LogsAt reports whether events at the given level are kept.
+func (l *Logger) LogsAt(lv Level) bool {
+	return l != nil && lv != LevelOff && lv >= l.s.level
+}
+
+// ScopeName returns the name of the scope with the given id, or "".
+func (l *Logger) ScopeName(id int) string {
+	if l == nil {
+		return ""
+	}
+	l.s.mu.Lock()
+	defer l.s.mu.Unlock()
+	for _, sc := range l.s.scopes {
+		if sc.id == id {
+			return sc.name
+		}
+	}
+	return ""
+}
+
+// Tap registers a live-event callback (watchdogs, SSE hubs) and returns its
+// cancel function. Callbacks run synchronously on the emitting goroutine, in
+// arrival order; they must not block. On a nil logger Tap returns a no-op
+// cancel.
+func (l *Logger) Tap(fn func(Event)) (cancel func()) {
+	if l == nil || fn == nil {
+		return func() {}
+	}
+	s := l.s
+	s.liveMu.Lock()
+	s.taps = append(s.taps, fn)
+	idx := len(s.taps) - 1
+	s.liveMu.Unlock()
+	return func() {
+		s.liveMu.Lock()
+		s.taps[idx] = nil
+		s.liveMu.Unlock()
+	}
+}
+
+func (sc *scope) now() float64 {
+	if sc.clock == nil {
+		return 0
+	}
+	return sc.clock()
+}
+
+// push appends an event to the ring, dropping the oldest on wrap.
+func (sc *scope) push(e Event) {
+	slot := sc.n % uint64(len(sc.ring))
+	if sc.n >= uint64(len(sc.ring)) {
+		sc.dropped++
+	}
+	sc.ring[slot] = e
+	sc.n++
+}
+
+// Debug records an event at LevelDebug.
+func (l *Logger) Debug(msg string, fields ...Field) { l.log(LevelDebug, msg, fields) }
+
+// Info records an event at LevelInfo.
+func (l *Logger) Info(msg string, fields ...Field) { l.log(LevelInfo, msg, fields) }
+
+// Warn records an event at LevelWarn.
+func (l *Logger) Warn(msg string, fields ...Field) { l.log(LevelWarn, msg, fields) }
+
+// Error records an event at LevelError.
+func (l *Logger) Error(msg string, fields ...Field) { l.log(LevelError, msg, fields) }
+
+func (l *Logger) log(lv Level, msg string, fields []Field) {
+	if l == nil || lv < l.s.level {
+		return
+	}
+	sc := l.sc
+	sc.mu.Lock()
+	sc.seq++
+	ev := Event{Scope: sc.id, Seq: sc.seq, Time: sc.now(), Level: lv, Msg: msg}
+	for _, f := range l.bound {
+		ev.NFields = setField(&ev.Fields, ev.NFields, f)
+	}
+	for _, f := range fields {
+		ev.NFields = setField(&ev.Fields, ev.NFields, f)
+	}
+	sc.push(ev)
+	name := sc.name
+	sc.mu.Unlock()
+	l.s.emit(name, ev)
+}
+
+// emit fans one event out to the live sink and the registered taps, in
+// arrival order under one lock (operator path; never part of the
+// deterministic artifact).
+func (s *sink) emit(scopeName string, ev Event) {
+	s.liveMu.Lock()
+	if s.live != nil {
+		if s.liveFormat == FormatJSONL {
+			writeEventJSON(s.live, scopeName, ev)
+		} else {
+			writeEventText(s.live, scopeName, ev)
+		}
+	}
+	taps := s.taps
+	s.liveMu.Unlock()
+	for _, fn := range taps {
+		if fn != nil {
+			fn(ev)
+		}
+	}
+}
+
+// ScopeSnapshot is one scope's events in a Log snapshot.
+type ScopeSnapshot struct {
+	ID      int
+	Name    string
+	Dropped uint64
+	Events  []Event
+}
+
+// Log is a copied, exportable snapshot of the event log: scopes in id order,
+// events in sequence order. Two same-seed runs produce identical Logs at any
+// parallelism width when scopes were created before the fan-out.
+type Log struct {
+	Scopes []ScopeSnapshot
+}
+
+// Snapshot copies the sink's current state. Safe to call while scopes are
+// recording. Scopes with no events are omitted, so pre-created-but-unused
+// scopes never perturb exports. A nil logger snapshots to an empty log.
+func (l *Logger) Snapshot() *Log {
+	out := &Log{}
+	if l == nil {
+		return out
+	}
+	l.s.mu.Lock()
+	scopes := append([]*scope(nil), l.s.scopes...)
+	l.s.mu.Unlock()
+	for _, sc := range scopes {
+		sc.mu.Lock()
+		ss := ScopeSnapshot{ID: sc.id, Name: sc.name, Dropped: sc.dropped}
+		k := sc.n
+		if k > uint64(len(sc.ring)) {
+			k = uint64(len(sc.ring))
+		}
+		if k > 0 {
+			ss.Events = make([]Event, 0, k)
+			start := sc.n - k
+			for i := uint64(0); i < k; i++ {
+				ss.Events = append(ss.Events, sc.ring[(start+i)%uint64(len(sc.ring))])
+			}
+		}
+		sc.mu.Unlock()
+		if len(ss.Events) == 0 {
+			continue
+		}
+		out.Scopes = append(out.Scopes, ss)
+	}
+	// Scopes were collected in creation (= id) order; no sort needed, but a
+	// snapshot must never depend on that invariant silently breaking.
+	for i := 1; i < len(out.Scopes); i++ {
+		if out.Scopes[i].ID < out.Scopes[i-1].ID {
+			out.Scopes[i], out.Scopes[i-1] = out.Scopes[i-1], out.Scopes[i]
+		}
+	}
+	return out
+}
+
+// CampaignID derives the deterministic campaign correlation id events and
+// ledger records carry: a stable function of the campaign's name and seed,
+// never of wall time or process identity.
+func CampaignID(name string, seed int64) string {
+	h := fnv.New64a()
+	_, _ = io.WriteString(h, name)
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(uint64(seed) >> (8 * i))
+	}
+	_, _ = h.Write(buf[:])
+	return fmt.Sprintf("c-%016x", h.Sum64())
+}
+
+// enabled is the process-wide default logger consulted by subsystem
+// constructors (core.NewMeasurer) when none was wired explicitly — the same
+// auto-wiring convention as metrics.Enabled and trace.Enabled.
+var enabled atomic.Pointer[Logger]
+
+// Enable installs l as the process default logger. Constructors that run
+// after this call wire themselves to it. Passing nil turns the default off.
+func Enable(l *Logger) {
+	if l == nil {
+		enabled.Store(nil)
+		return
+	}
+	enabled.Store(l)
+}
+
+// Enabled returns the process default logger, or nil when logging is off.
+func Enabled() *Logger {
+	return enabled.Load()
+}

@@ -1,0 +1,304 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilLoggerNoops(t *testing.T) {
+	var lg *Logger
+	lg.Info("ignored", Int("x", 1))
+	lg.Error("ignored")
+	lg.SetClock(func() float64 { return 1 })
+	if got := lg.Scope("child", nil); got != nil {
+		t.Fatalf("nil.Scope = %v, want nil", got)
+	}
+	if got := lg.With(Int("x", 1)); got != nil {
+		t.Fatalf("nil.With = %v, want nil", got)
+	}
+	if lg.Level() != LevelOff {
+		t.Fatalf("nil.Level = %v, want off", lg.Level())
+	}
+	if lg.LogsAt(LevelError) {
+		t.Fatal("nil.LogsAt(error) = true")
+	}
+	cancel := lg.Tap(func(Event) {})
+	cancel()
+	snap := lg.Snapshot()
+	if len(snap.Scopes) != 0 {
+		t.Fatalf("nil snapshot has %d scopes", len(snap.Scopes))
+	}
+	var buf bytes.Buffer
+	if err := snap.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewOffIsNil(t *testing.T) {
+	if lg := New(Options{Level: LevelOff}); lg != nil {
+		t.Fatal("New(off) should return nil")
+	}
+	if lg, err := NewCLI("off", "text", nil); err != nil || lg != nil {
+		t.Fatalf("NewCLI(off) = %v, %v", lg, err)
+	}
+}
+
+func TestParseLevelAndFormat(t *testing.T) {
+	for _, s := range []string{"debug", "info", "warn", "error", "off"} {
+		lv, err := ParseLevel(s)
+		if err != nil {
+			t.Fatalf("ParseLevel(%q): %v", s, err)
+		}
+		if lv.String() != s {
+			t.Fatalf("ParseLevel(%q).String() = %q", s, lv.String())
+		}
+	}
+	if _, err := ParseLevel("verbose"); err == nil {
+		t.Fatal("ParseLevel(verbose) should fail")
+	}
+	if _, err := ParseFormat("xml"); err == nil {
+		t.Fatal("ParseFormat(xml) should fail")
+	}
+}
+
+func TestLevelFiltering(t *testing.T) {
+	lg := New(Options{Level: LevelWarn})
+	lg.Debug("d")
+	lg.Info("i")
+	lg.Warn("w")
+	lg.Error("e")
+	snap := lg.Snapshot()
+	if len(snap.Scopes) != 1 || len(snap.Scopes[0].Events) != 2 {
+		t.Fatalf("snapshot = %+v, want 2 events in 1 scope", snap)
+	}
+	if snap.Scopes[0].Events[0].Msg != "w" || snap.Scopes[0].Events[1].Msg != "e" {
+		t.Fatalf("events = %+v", snap.Scopes[0].Events)
+	}
+	if !lg.LogsAt(LevelError) || lg.LogsAt(LevelInfo) {
+		t.Fatal("LogsAt disagrees with filtering")
+	}
+}
+
+func TestClockSeqAndFields(t *testing.T) {
+	now := 0.0
+	lg := New(Options{Level: LevelDebug})
+	lg.SetClock(func() float64 { return now })
+	now = 1.5
+	lg.Info("first", Int("n", 7), String("s", "x"), Bool("ok", true), Float("f", 0.5))
+	now = 2.5
+	lg.Info("second", Int("n", 8), Int("n", 9)) // duplicate key overwrites
+	ev := lg.Snapshot().Scopes[0].Events
+	if ev[0].Seq != 1 || ev[1].Seq != 2 {
+		t.Fatalf("seqs = %d, %d", ev[0].Seq, ev[1].Seq)
+	}
+	if ev[0].Time != 1.5 || ev[1].Time != 2.5 {
+		t.Fatalf("times = %g, %g", ev[0].Time, ev[1].Time)
+	}
+	if f, ok := ev[0].Field("n"); !ok || f.Value() != int64(7) {
+		t.Fatalf("field n = %+v, %v", f, ok)
+	}
+	if len(ev[0].FieldList()) != 4 {
+		t.Fatalf("got %d fields", len(ev[0].FieldList()))
+	}
+	if f, _ := ev[1].Field("n"); f.Value() != int64(9) {
+		t.Fatalf("duplicate key kept %v, want 9", f.Value())
+	}
+}
+
+func TestWithBoundFields(t *testing.T) {
+	lg := New(Options{Level: LevelInfo})
+	cl := lg.With(String("campaign", "c-1")).With(Int("phase", 2))
+	cl.Info("probe", Bool("ok", true))
+	ev := lg.Snapshot().Scopes[0].Events[0]
+	if f, ok := ev.Field("campaign"); !ok || f.Value() != "c-1" {
+		t.Fatalf("campaign = %+v, %v", f, ok)
+	}
+	if f, ok := ev.Field("phase"); !ok || f.Value() != int64(2) {
+		t.Fatalf("phase = %+v, %v", f, ok)
+	}
+	if f, ok := ev.Field("ok"); !ok || f.Value() != true {
+		t.Fatalf("ok = %+v, %v", f, ok)
+	}
+}
+
+func TestFieldOverflowDropsExtras(t *testing.T) {
+	lg := New(Options{Level: LevelInfo})
+	fields := make([]Field, 0, maxFields+3)
+	for i := 0; i < maxFields+3; i++ {
+		fields = append(fields, Int(fmt.Sprintf("k%d", i), int64(i)))
+	}
+	lg.Info("full", fields...)
+	ev := lg.Snapshot().Scopes[0].Events[0]
+	if ev.NFields != maxFields {
+		t.Fatalf("NFields = %d, want %d", ev.NFields, maxFields)
+	}
+}
+
+func TestRingWrapCountsDropped(t *testing.T) {
+	lg := New(Options{Level: LevelInfo, Capacity: 4})
+	for i := 0; i < 10; i++ {
+		lg.Info(fmt.Sprintf("e%d", i))
+	}
+	sc := lg.Snapshot().Scopes[0]
+	if sc.Dropped != 6 {
+		t.Fatalf("dropped = %d, want 6", sc.Dropped)
+	}
+	if len(sc.Events) != 4 || sc.Events[0].Msg != "e6" || sc.Events[3].Msg != "e9" {
+		t.Fatalf("ring window = %+v", sc.Events)
+	}
+}
+
+func TestScopesSnapshotInIDOrderEmptyOmitted(t *testing.T) {
+	lg := New(Options{Level: LevelInfo})
+	a := lg.Scope("a", nil)
+	_ = lg.Scope("unused", nil)
+	b := lg.Scope("b", nil)
+	b.Info("on-b")
+	a.Info("on-a")
+	lg.Info("on-main")
+	snap := lg.Snapshot()
+	if len(snap.Scopes) != 3 {
+		t.Fatalf("got %d scopes, want 3 (empty omitted)", len(snap.Scopes))
+	}
+	names := []string{snap.Scopes[0].Name, snap.Scopes[1].Name, snap.Scopes[2].Name}
+	if names[0] != "main" || names[1] != "a" || names[2] != "b" {
+		t.Fatalf("scope order = %v", names)
+	}
+	if lg.ScopeName(a.sc.id) != "a" || lg.ScopeName(99) != "" {
+		t.Fatal("ScopeName lookup broken")
+	}
+}
+
+// TestSerialVsParallelByteIdentity is the tentpole invariant: scopes created
+// before a fan-out record the same bytes whether their streams are emitted
+// serially or from concurrent goroutines.
+func TestSerialVsParallelByteIdentity(t *testing.T) {
+	const scopes, events = 8, 200
+	run := func(parallel bool) []byte {
+		lg := New(Options{Level: LevelDebug})
+		workers := make([]*Logger, scopes)
+		for i := range workers {
+			i := i
+			clock := func() float64 { return float64(i) } // per-scope fixed virtual clock
+			workers[i] = lg.Scope(fmt.Sprintf("worker-%d", i), clock)
+		}
+		emit := func(w *Logger, i int) {
+			for j := 0; j < events; j++ {
+				w.Info("tick", Int("worker", int64(i)), Int("j", int64(j)))
+			}
+		}
+		if parallel {
+			var wg sync.WaitGroup
+			for i, w := range workers {
+				wg.Add(1)
+				go func(w *Logger, i int) {
+					defer wg.Done()
+					emit(w, i)
+				}(w, i)
+			}
+			wg.Wait()
+		} else {
+			for i, w := range workers {
+				emit(w, i)
+			}
+		}
+		var buf bytes.Buffer
+		if err := lg.Snapshot().WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := run(false)
+	for trial := 0; trial < 4; trial++ {
+		if par := run(true); !bytes.Equal(serial, par) {
+			t.Fatalf("trial %d: parallel snapshot differs from serial", trial)
+		}
+	}
+}
+
+func TestLiveSinkTextFormat(t *testing.T) {
+	var buf bytes.Buffer
+	lg := New(Options{Level: LevelInfo, Live: &buf, LiveFormat: FormatText})
+	lg.SetClock(func() float64 { return 3.25 })
+	lg.Info("campaign-started", Int("nodes", 30), String("preset", "goerli small"))
+	want := `level=info t=3.250 scope=main msg=campaign-started nodes=30 preset="goerli small"` + "\n"
+	if buf.String() != want {
+		t.Fatalf("live text = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestLiveSinkJSONLFormat(t *testing.T) {
+	var buf bytes.Buffer
+	lg := New(Options{Level: LevelInfo, Live: &buf, LiveFormat: FormatJSONL})
+	lg.Info("hello", Bool("ok", true))
+	line := strings.TrimSpace(buf.String())
+	if !strings.Contains(line, `"msg":"hello"`) || !strings.Contains(line, `"name":"main"`) {
+		t.Fatalf("live jsonl = %q", line)
+	}
+	if strings.Count(buf.String(), "\n") != 1 {
+		t.Fatalf("want exactly one line, got %q", buf.String())
+	}
+}
+
+func TestTapAndCancel(t *testing.T) {
+	lg := New(Options{Level: LevelInfo})
+	var got []string
+	cancel := lg.Tap(func(e Event) { got = append(got, e.Msg) })
+	lg.Info("one")
+	cancel()
+	lg.Info("two")
+	if len(got) != 1 || got[0] != "one" {
+		t.Fatalf("tap saw %v, want [one]", got)
+	}
+}
+
+func TestEnableEnabled(t *testing.T) {
+	defer Enable(nil)
+	if Enabled() != nil {
+		t.Fatal("default should start nil")
+	}
+	lg := New(Options{Level: LevelInfo})
+	Enable(lg)
+	if Enabled() != lg {
+		t.Fatal("Enabled() != lg")
+	}
+	Enable(nil)
+	if Enabled() != nil {
+		t.Fatal("Enable(nil) should clear")
+	}
+}
+
+func TestCampaignIDStable(t *testing.T) {
+	a := CampaignID("census", 7)
+	if a != CampaignID("census", 7) {
+		t.Fatal("CampaignID not stable")
+	}
+	if a == CampaignID("census", 8) || a == CampaignID("track", 7) {
+		t.Fatal("CampaignID should depend on name and seed")
+	}
+	if !strings.HasPrefix(a, "c-") || len(a) != 18 {
+		t.Fatalf("CampaignID format = %q", a)
+	}
+}
+
+func TestSnapshotDuringConcurrentWrites(t *testing.T) {
+	lg := New(Options{Level: LevelInfo, Capacity: 64})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			lg.Info("spin", Int("i", int64(i)))
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		snap := lg.Snapshot()
+		var buf bytes.Buffer
+		if err := snap.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+}

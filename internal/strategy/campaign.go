@@ -5,8 +5,18 @@ import (
 
 	"toposhot/internal/core"
 	"toposhot/internal/ethsim"
+	"toposhot/internal/obs"
 	"toposhot/internal/trace"
 	"toposhot/internal/types"
+)
+
+// Ledger phases a campaign attributes cost to: transactions inherited from
+// work before the campaign (a census the strategy's measurer already ran),
+// the Prepare call, and the per-pair probes.
+const (
+	PhaseCarried = "carried"
+	PhasePrepare = "prepare"
+	PhaseProbe   = "probe"
 )
 
 // Method names one built-in strategy.
@@ -93,14 +103,31 @@ type Outcome struct {
 	Verdicts []PairVerdict
 	// Cost is the strategy's probe-transaction tally after the campaign.
 	Cost Cost
+	// Ledger attributes that tally: one record per pair probe (with its
+	// verdict), plus round records for Prepare and any cost carried in from
+	// before the campaign. LedgerCost() telescopes back to exactly Cost.
+	Ledger *obs.Ledger
 	// VirtualSeconds is the simulated time the campaign consumed.
 	VirtualSeconds float64
 }
 
+// LedgerCost re-derives the campaign cost from ledger aggregation. It always
+// equals Cost — the reported cost columns are reproduced from attribution,
+// not from a side counter (RunPairs enforces the identity).
+func (o *Outcome) LedgerCost() Cost {
+	t := o.Ledger.Totals()
+	return Cost{PendingTxs: t.Pending, FutureTxs: t.Futures}
+}
+
 // RunPairs drives one strategy over a pair list: validate, Prepare, then
 // MeasurePair each pair in order, recording a campaign span with one probe
-// span (and verdict attribute) per pair. tr may be nil (tracing off).
-func RunPairs(tr *trace.Tracer, net *ethsim.Network, s Strategy, pairs [][2]types.NodeID) (*Outcome, error) {
+// span (and verdict attribute) per pair. Cost accounting is built by delta:
+// s.Cost() is sampled around Prepare and around every probe, and each delta
+// lands as one ledger record, so the final ledger aggregation telescopes to
+// exactly the strategy's own tally. tr may be nil (tracing off) and lg may
+// be nil (event logging off); the ledger is always built. Campaigns that fan
+// out over workers pass each worker its own pre-created lg scope.
+func RunPairs(tr *trace.Tracer, lg *obs.Logger, net *ethsim.Network, s Strategy, pairs [][2]types.NodeID) (*Outcome, error) {
 	for _, pr := range pairs {
 		if pr[0] == pr[1] {
 			return nil, fmt.Errorf("strategy: self-pair %v", pr[0])
@@ -111,12 +138,31 @@ func RunPairs(tr *trace.Tracer, net *ethsim.Network, s Strategy, pairs [][2]type
 			}
 		}
 	}
+	lg.SetClock(net.Now)
 	span := tr.StartSpan(SpanCampaign,
 		trace.String(AttrMethod, s.Name()), trace.Int(attrPairs, int64(len(pairs))))
 	defer span.End()
+	lg.Info(core.MsgCampaignStarted,
+		obs.String("method", s.Name()), obs.Int("pairs", int64(len(pairs))),
+		obs.Int("span", int64(span.ID())))
+	led := obs.NewLedger()
 	start := net.Now()
+	prev := s.Cost()
+	if prev.Total() > 0 {
+		// Cost the strategy accrued before this campaign (a census already
+		// run on its measurer) is attributed, not silently folded into the
+		// first probe.
+		led.Record(obs.ProbeRecord{Phase: PhaseCarried, Kind: obs.KindRound,
+			Pending: prev.PendingTxs, Futures: prev.FutureTxs, Start: start, End: start})
+	}
 	if err := s.Prepare(pairs); err != nil {
 		return nil, err
+	}
+	if c := s.Cost(); c != prev {
+		led.Record(obs.ProbeRecord{Phase: PhasePrepare, Kind: obs.KindRound,
+			Pending: c.PendingTxs - prev.PendingTxs, Futures: c.FutureTxs - prev.FutureTxs,
+			Start: start, End: net.Now()})
+		prev = c
 	}
 	out := &Outcome{
 		Method:   s.Name(),
@@ -127,6 +173,7 @@ func RunPairs(tr *trace.Tracer, net *ethsim.Network, s Strategy, pairs [][2]type
 		ps := tr.StartSpan(SpanProbe,
 			trace.String(AttrMethod, s.Name()),
 			trace.Int(attrNodeA, int64(pr[0])), trace.Int(attrNodeB, int64(pr[1])))
+		probeStart := net.Now()
 		c, err := s.MeasurePair(pr[0], pr[1])
 		if err != nil {
 			ps.End()
@@ -134,14 +181,29 @@ func RunPairs(tr *trace.Tracer, net *ethsim.Network, s Strategy, pairs [][2]type
 		}
 		ps.SetAttr(trace.String(AttrVerdict, c.Verdict))
 		ps.End()
+		cost := s.Cost()
+		led.Record(obs.ProbeRecord{Phase: PhaseProbe, Kind: obs.KindPair,
+			A: pr[0], B: pr[1],
+			Pending: cost.PendingTxs - prev.PendingTxs, Futures: cost.FutureTxs - prev.FutureTxs,
+			Start: probeStart, End: net.Now(), Verdict: c.Verdict, Detected: c.Detected})
+		prev = cost
 		if c.Detected {
 			out.Claimed.Add(pr[0], pr[1])
 		}
 		out.Verdicts = append(out.Verdicts, PairVerdict{A: pr[0], B: pr[1], Claim: c})
 	}
 	out.Cost = s.Cost()
+	out.Ledger = led
 	out.VirtualSeconds = net.Now() - start
 	span.SetAttr(trace.Int(attrClaimed, int64(out.Claimed.Len())))
+	if got := out.LedgerCost(); got != out.Cost {
+		return nil, fmt.Errorf("strategy: ledger attribution drifted from %s cost counters: %+v vs %+v",
+			s.Name(), got, out.Cost)
+	}
+	lg.Info(core.MsgCampaignDone,
+		obs.String("method", s.Name()), obs.Int("claimed", int64(out.Claimed.Len())),
+		obs.Int("pending_txs", int64(out.Cost.PendingTxs)), obs.Int("future_txs", int64(out.Cost.FutureTxs)),
+		obs.Float("virtual_s", out.VirtualSeconds))
 	return out, nil
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"toposhot/internal/core"
 	"toposhot/internal/ethsim"
+	"toposhot/internal/obs"
 	"toposhot/internal/runner"
 	"toposhot/internal/trace"
 	"toposhot/internal/txpool"
@@ -83,7 +84,7 @@ func runOnRing(t testing.TB, m Method, seed int64, n int, tr *trace.Tracer) (Str
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := RunPairs(tr, net, s, ringPairs(ids))
+	out, err := RunPairs(tr, nil, net, s, ringPairs(ids))
 	if err != nil {
 		t.Fatalf("%s: %v", m, err)
 	}
@@ -255,6 +256,50 @@ func TestAccountSpacesDisjoint(t *testing.T) {
 	}
 }
 
+// TestRunPairsLedgerAttribution checks the cost-exactness invariant on every
+// built-in method: the campaign ledger's aggregation equals the strategy's
+// own cost counters (RunPairs enforces it; this pins it stays enforced), one
+// pair record per verdict, and an event log that carries the campaign
+// lifecycle.
+func TestRunPairsLedgerAttribution(t *testing.T) {
+	for _, m := range Methods() {
+		lg := obs.New(obs.Options{Level: obs.LevelDebug})
+		net, super, ids := buildRing(t, 9, 6)
+		s, err := NewMethod(m, net, super, testConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := RunPairs(nil, lg, net, s, ringPairs(ids))
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if got := out.LedgerCost(); got != out.Cost {
+			t.Fatalf("%s: ledger aggregation %+v != cost counters %+v", m, got, out.Cost)
+		}
+		pairRecords := 0
+		for _, r := range out.Ledger.Records() {
+			if r.Kind != obs.KindPair {
+				continue
+			}
+			pairRecords++
+			if r.Verdict == "" {
+				t.Fatalf("%s: pair record %v-%v has no verdict", m, r.A, r.B)
+			}
+		}
+		if pairRecords != len(out.Verdicts) {
+			t.Fatalf("%s: %d pair records for %d verdicts", m, pairRecords, len(out.Verdicts))
+		}
+		snap := lg.Snapshot()
+		if len(snap.Scopes) != 1 {
+			t.Fatalf("%s: %d scopes in event log, want 1", m, len(snap.Scopes))
+		}
+		evs := snap.Scopes[0].Events
+		if len(evs) < 2 || evs[0].Msg != core.MsgCampaignStarted || evs[len(evs)-1].Msg != core.MsgCampaignDone {
+			t.Fatalf("%s: campaign lifecycle events missing: %d events", m, len(evs))
+		}
+	}
+}
+
 // TestRunPairsValidates checks the campaign-level pair validation: typed
 // unknown-node errors and self-pair rejection, before any probe is sent.
 func TestRunPairsValidates(t *testing.T) {
@@ -263,12 +308,12 @@ func TestRunPairsValidates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = RunPairs(nil, net, s, [][2]types.NodeID{{ids[0], 999}})
+	_, err = RunPairs(nil, nil, net, s, [][2]types.NodeID{{ids[0], 999}})
 	var unknown UnknownNodeError
 	if !errors.As(err, &unknown) || unknown.ID != 999 {
 		t.Fatalf("want UnknownNodeError{999}, got %v", err)
 	}
-	if _, err = RunPairs(nil, net, s, [][2]types.NodeID{{ids[1], ids[1]}}); err == nil {
+	if _, err = RunPairs(nil, nil, net, s, [][2]types.NodeID{{ids[1], ids[1]}}); err == nil {
 		t.Fatal("self-pair accepted")
 	}
 	if c := s.Cost(); c.Total() != 0 {

@@ -409,6 +409,23 @@ func (t *Tracer) StartSpan(name string, attrs ...Attr) Span {
 	return Span{l: l, det: t.s.det, slot: slot, gen: gen}
 }
 
+// ID returns the span's lane-scoped record id — the cross-link key other
+// streams (the obs event log) carry to tie their records to this span. It
+// returns 0 on the zero Span and after the span has ended; capture it while
+// the span is open.
+func (s Span) ID() uint64 {
+	if s.l == nil {
+		return 0
+	}
+	var id uint64
+	s.l.mu.Lock()
+	if o := &s.l.open[s.slot]; o.gen == s.gen && o.name != "" {
+		id = o.id
+	}
+	s.l.mu.Unlock()
+	return id
+}
+
 // SetAttr adds or overwrites an attribute on the open span. Calling it after
 // End is a no-op.
 func (s Span) SetAttr(a Attr) {

@@ -31,6 +31,7 @@ import (
 
 	"toposhot/internal/core"
 	"toposhot/internal/graph"
+	"toposhot/internal/metrics"
 	"toposhot/internal/types"
 )
 
@@ -132,6 +133,8 @@ type Tracker struct {
 	tick   int32
 	belief *graph.Dynamic
 
+	metrics trackMetrics
+
 	planScratch []int32
 	pairScratch [][2]types.NodeID
 }
@@ -184,6 +187,9 @@ func New(cfg Config, targets []types.NodeID, initial *core.EdgeSet, p Prober) (*
 		bucket0[i] = int32(i)
 	}
 	t.byTick = [][]int32{bucket0}
+	// Self-wire to the process registry, like the engines and the measurer
+	// (Restore inherits this through its New call).
+	t.SetMetrics(metrics.Enabled())
 	return t, nil
 }
 
@@ -254,6 +260,7 @@ func (t *Tracker) Observe(a, b types.NodeID) {
 func (t *Tracker) Tick() (TickReport, error) {
 	t.tick++
 	rep := TickReport{Tick: int(t.tick)}
+	defer t.observeTick(&rep)
 	plan := t.trkPlan(&rep)
 	rep.Planned = len(plan)
 	if len(plan) == 0 {

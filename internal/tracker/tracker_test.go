@@ -8,6 +8,7 @@ import (
 
 	"toposhot/internal/core"
 	"toposhot/internal/graph"
+	"toposhot/internal/metrics"
 	"toposhot/internal/types"
 )
 
@@ -334,5 +335,65 @@ func TestTrackerRejectsBadInput(t *testing.T) {
 	st.Pairs = append(st.Pairs, PairState{A: 1, B: 9})
 	if _, err := Restore(st, Config{}, o); err == nil {
 		t.Fatal("accepted out-of-universe pair")
+	}
+}
+
+// TestTrackerMetrics wires a registry and checks the per-tick instruments:
+// budget accounting, urgent/stale split, verdict flips, and the belief-graph
+// gauges tracking the live graph.
+func TestTrackerMetrics(t *testing.T) {
+	truth := ringTruth(8)
+	o := &oracleProber{truth: truth}
+	tr, err := New(Config{Budget: 6, HalfLife: 1, MinConfidence: 0.6}, targetIDs(8), truth, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	tr.SetMetrics(reg)
+
+	if got := reg.Gauge("tracker.budget").Value(); got != 6 {
+		t.Fatalf("tracker.budget = %d, want 6", got)
+	}
+	truth.Remove(1, 2) // churn one link, tip the tracker off
+	tr.Observe(1, 2)
+	rep, err := tr.Tick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Counter("tracker.ticks").Value() != 1 {
+		t.Fatal("tracker.ticks did not count the tick")
+	}
+	if got := reg.Counter("tracker.pairs.planned").Value(); got != int64(rep.Planned) {
+		t.Fatalf("tracker.pairs.planned = %d, want %d", got, rep.Planned)
+	}
+	if got := reg.Counter("tracker.pairs.urgent").Value(); got != int64(rep.Urgent) || rep.Urgent != 1 {
+		t.Fatalf("tracker.pairs.urgent = %d (report %d), want 1", got, rep.Urgent)
+	}
+	if got := reg.Counter("tracker.pairs.stale").Value(); got != int64(rep.Planned-rep.Urgent) {
+		t.Fatalf("tracker.pairs.stale = %d, want %d", got, rep.Planned-rep.Urgent)
+	}
+	if got := reg.Counter("tracker.verdict_flips").Value(); got != int64(rep.Changed) || rep.Changed < 1 {
+		t.Fatalf("tracker.verdict_flips = %d (report %d), want ≥1", got, rep.Changed)
+	}
+	if got := reg.Gauge("tracker.belief.nodes").Value(); got != int64(tr.Belief().NumNodes()) {
+		t.Fatalf("tracker.belief.nodes = %d, want %d", got, tr.Belief().NumNodes())
+	}
+	if got := reg.Gauge("tracker.belief.edges").Value(); got != int64(tr.Belief().NumEdges()) {
+		t.Fatalf("tracker.belief.edges = %d, want %d", got, tr.Belief().NumEdges())
+	}
+	if got := reg.Gauge("tracker.budget_used").Value(); got != int64(rep.Planned) {
+		t.Fatalf("tracker.budget_used = %d, want %d", got, rep.Planned)
+	}
+
+	// A failed batch lands in pairs.failed and leaves the queue non-empty.
+	o.failNext = true
+	if _, err := tr.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Counter("tracker.pairs.failed").Value() == 0 {
+		t.Fatal("tracker.pairs.failed did not count the setup failures")
+	}
+	if reg.Gauge("tracker.urgent_depth").Value() == 0 {
+		t.Fatal("tracker.urgent_depth did not reflect the re-queued pairs")
 	}
 }
